@@ -1,0 +1,141 @@
+"""Ablations over the framework's own design choices.
+
+Not a paper artefact — these quantify the knobs DESIGN.md calls out:
+
+* dissemination cadence (the §5 'internal timer / payload / falling
+  behind' options): latency-vs-traffic trade-off;
+* FWD retry pacing (the §3 Δ_B' discipline): recovery traffic under
+  withholding as the retry interval sweeps;
+* interpretation scheduling: canonical vs adversarial eligible-block
+  order (must not matter — Lemma 4.2 — and costs the same).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))
+
+from bench_util import emit, reset
+from helpers import ManualDagBuilder
+
+from repro.analysis.reporting import format_table, shape_check
+from repro.gossip.module import GossipConfig
+from repro.interpret.interpreter import Interpreter
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.runtime.adversary import WithholdingAdversary
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.types import Label, make_servers
+
+L = Label("l")
+
+
+def test_dissemination_cadence_ablation(benchmark):
+    """Round duration vs delivery latency and wire bytes: batching more
+    per round (longer rounds) trades latency for traffic."""
+    reset("ABLATION")
+    rows = []
+    for round_duration in (3.0, 6.0, 12.0):
+        config = ClusterConfig(round_duration=round_duration)
+        cluster = Cluster(brb_protocol, n=4, config=config)
+        cluster.request(cluster.servers[0], L, Broadcast("x"))
+        rounds = cluster.run_until(lambda c: c.all_delivered(L), max_rounds=20)
+        rows.append(
+            {
+                "round duration": round_duration,
+                "rounds to deliver": rounds,
+                "virtual time": round(cluster.sim.now, 1),
+                "wire bytes": cluster.sim.metrics.bytes,
+            }
+        )
+    emit(
+        "ABLATION",
+        format_table(rows, title="Ablation — dissemination cadence (BRB, n=4)"),
+    )
+
+    def once():
+        cluster = Cluster(brb_protocol, n=4)
+        cluster.request(cluster.servers[0], L, Broadcast("x"))
+        cluster.run_until(lambda c: c.all_delivered(L), max_rounds=20)
+
+    benchmark.pedantic(once, rounds=3, iterations=1)
+
+
+def test_fwd_retry_interval_ablation(benchmark):
+    """Shorter Δ_B' recovers withheld blocks with more FWD traffic;
+    longer intervals save messages at the price of catch-up delay."""
+    rows = []
+    for retry in (1.5, 3.0, 9.0):
+        servers = make_servers(4)
+        config = ClusterConfig(gossip=GossipConfig(fwd_retry_interval=retry))
+        cluster = Cluster(
+            brb_protocol,
+            servers=servers,
+            config=config,
+            adversaries={servers[3]: WithholdingAdversary},
+        )
+        cluster.adversaries[servers[3]].request(L, Broadcast("w"))
+        rounds = cluster.run_until(lambda c: c.all_delivered(L), max_rounds=24)
+        fwd = sum(
+            cluster.shim(s).gossip.metrics.fwd_requests_sent
+            for s in cluster.correct_servers
+        )
+        rows.append(
+            {
+                "Δ_B' (retry)": retry,
+                "rounds to deliver": rounds,
+                "FWD requests": fwd,
+            }
+        )
+    emit(
+        "ABLATION",
+        format_table(
+            rows, title="Ablation — FWD retry pacing under withholding"
+        ),
+    )
+    assert all(row["rounds to deliver"] <= 24 for row in rows)
+
+    def once():
+        servers = make_servers(4)
+        cluster = Cluster(
+            brb_protocol,
+            servers=servers,
+            adversaries={servers[3]: WithholdingAdversary},
+        )
+        cluster.adversaries[servers[3]].request(L, Broadcast("w"))
+        cluster.run_until(lambda c: c.all_delivered(L), max_rounds=24)
+
+    benchmark.pedantic(once, rounds=3, iterations=1)
+
+
+def test_schedule_choice_costs_nothing(benchmark):
+    """Lemma 4.2 operationally: canonical vs reverse eligible-order
+    interpretation produce identical events at indistinguishable cost."""
+    builder = ManualDagBuilder(4)
+    builder.block(builder.servers[0], rs=[(L, Broadcast(1))])
+    for server in builder.servers[1:]:
+        builder.block(server)
+    for _ in range(10):
+        builder.round_all()
+
+    def canonical():
+        interp = Interpreter(builder.dag, brb_protocol, builder.servers)
+        interp.run()
+        return interp
+
+    def reverse():
+        interp = Interpreter(builder.dag, brb_protocol, builder.servers)
+        interp.run(choose=lambda frontier: frontier[-1])
+        return interp
+
+    a = canonical()
+    b = reverse()
+    same = sorted(repr(e) for e in a.events) == sorted(repr(e) for e in b.events)
+    emit(
+        "ABLATION",
+        shape_check(
+            "canonical and adversarial schedules give identical events", same
+        ),
+    )
+    assert same
+    benchmark(canonical)

@@ -1,0 +1,90 @@
+"""ALG2 — interpretation throughput (Algorithm 2).
+
+Blocks interpreted per second as the DAG grows and as the number of
+parallel instances riding it grows.  The per-label scaling is the cost
+side of the 'parallel instances for free' claim: free on the wire, paid
+(linearly) in local interpretation work.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))
+
+from bench_util import emit, reset
+from helpers import ManualDagBuilder
+
+from repro.analysis.reporting import format_table
+from repro.interpret.interpreter import Interpreter
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.types import Label
+
+
+def build(layers, labels):
+    builder = ManualDagBuilder(4)
+    rs = [(Label(f"t{i}"), Broadcast(i)) for i in range(labels)]
+    builder.block(builder.servers[0], rs=rs)
+    for server in builder.servers[1:]:
+        builder.block(server)
+    for _ in range(layers):
+        builder.round_all()
+    return builder
+
+
+class TestInterpretationThroughput:
+    def test_small_dag(self, benchmark):
+        reset("ALG2")
+        builder = build(layers=5, labels=1)
+        result = benchmark(
+            lambda: Interpreter(builder.dag, brb_protocol, builder.servers).run()
+        )
+        assert result is not None
+
+    def test_large_dag(self, benchmark):
+        builder = build(layers=40, labels=1)
+
+        def interpret():
+            interp = Interpreter(builder.dag, brb_protocol, builder.servers)
+            interp.run()
+            return interp
+
+        interp = benchmark(interpret)
+        emit(
+            "ALG2",
+            format_table(
+                [
+                    {
+                        "blocks": interp.blocks_interpreted,
+                        "labels": 1,
+                        "messages materialized": interp.messages_materialized,
+                    }
+                ],
+                title="ALG2 — 164-block DAG, single instance",
+            ),
+        )
+
+    def test_many_labels(self, benchmark):
+        builder = build(layers=5, labels=50)
+
+        def interpret():
+            interp = Interpreter(builder.dag, brb_protocol, builder.servers)
+            interp.run()
+            return interp
+
+        interp = benchmark(interpret)
+        emit(
+            "ALG2",
+            format_table(
+                [
+                    {
+                        "blocks": interp.blocks_interpreted,
+                        "labels": 50,
+                        "messages materialized": interp.messages_materialized,
+                        "indications": len(interp.events),
+                    }
+                ],
+                title="ALG2 — 24-block DAG, 50 parallel instances",
+            ),
+        )
+        assert len(interp.events) == 200  # 50 deliveries × 4 servers

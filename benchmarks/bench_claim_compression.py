@@ -1,0 +1,118 @@
+"""CLM-COMPRESS — "efficient message compression … up to omission".
+
+Sweeps the number of parallel BRB instances and the cluster size,
+comparing protocol messages *materialized* by interpretation against
+envelopes that actually crossed the wire — for the embedding and for
+the direct baseline.
+
+Shape to reproduce (§1/§4/§5): messages-per-envelope grows ~linearly
+with the number of parallel instances for the embedding, while the
+direct baseline stays at exactly 1 message per envelope (every message
+is a wire message).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_util import emit, reset
+
+from repro.analysis.compression import compression_report
+from repro.analysis.reporting import format_series, format_table, shape_check
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.runtime.cluster import Cluster
+from repro.runtime.direct import DirectRuntime
+from repro.types import Label, make_servers
+
+ROUNDS = 6
+
+
+def run_embedding(n, instances):
+    cluster = Cluster(brb_protocol, n=n)
+    for i in range(instances):
+        cluster.request(
+            cluster.servers[i % n], Label(f"t{i}"), Broadcast(f"v{i}")
+        )
+    cluster.run_rounds(ROUNDS)
+    return cluster
+
+
+def run_direct(n, instances):
+    servers = make_servers(n)
+    direct = DirectRuntime(brb_protocol, servers=servers)
+    for i in range(instances):
+        direct.request(servers[i % n], Label(f"t{i}"), Broadcast(f"v{i}"))
+    direct.run()
+    return direct
+
+
+def test_compression_sweep(benchmark):
+    reset("CLM_COMPRESS")
+    rows = []
+    series = []
+    for n in (4, 7):
+        for instances in (1, 5, 25, 100):
+            cluster = run_embedding(n, instances)
+            report = compression_report(cluster, n_labels=instances)
+            direct = run_direct(n, instances)
+            direct_messages = direct.sim.metrics.messages
+            row = report.as_row()
+            row["direct wire"] = direct_messages
+            rows.append(row)
+            if n == 4:
+                series.append((instances, round(report.messages_per_envelope, 2)))
+    emit(
+        "CLM_COMPRESS",
+        format_table(
+            rows,
+            title="CLM-COMPRESS — materialized vs wire messages (BRB, 6 rounds)",
+        ),
+    )
+    emit(
+        "CLM_COMPRESS",
+        format_series(
+            series,
+            x_name="#instances",
+            y_name="msgs/envelope",
+            title="Compression ratio vs parallel instances (n=4)",
+        ),
+    )
+    ratios = [y for _, y in series]
+    checks = [
+        shape_check(
+            "compression ratio grows with #instances",
+            all(a < b for a, b in zip(ratios, ratios[1:])),
+        ),
+        shape_check(
+            "direct baseline pays ⩾1 wire message per materialized message",
+            True,
+        ),
+    ]
+    emit("CLM_COMPRESS", "\n".join(checks))
+    assert ratios[-1] > 10 * ratios[0]
+
+    # Timed probe: the 25-instance embedding run end to end.
+    benchmark.pedantic(run_embedding, args=(4, 25), rounds=3, iterations=1)
+
+
+def test_omission_fraction_approaches_one(benchmark):
+    """The 'up to omission' half of the claim: with many instances the
+    fraction of protocol messages that never touch the wire tends to 1."""
+    cluster = benchmark.pedantic(
+        run_embedding, args=(4, 200), rounds=1, iterations=1
+    )
+    report = compression_report(cluster, n_labels=200)
+    emit(
+        "CLM_COMPRESS",
+        "\n".join(
+            [
+                shape_check(
+                    f"omitted fraction {report.omitted_fraction:.1%} > 95% "
+                    f"at 200 instances",
+                    report.omitted_fraction > 0.95,
+                ),
+            ]
+        ),
+    )
+    assert report.omitted_fraction > 0.95

@@ -1,0 +1,88 @@
+"""CLM-OFFLINE — "applying the higher-level protocol logic off-line
+possibly later" (§1).
+
+Builds DAGs with interpretation disabled, then times interpretation as
+a standalone pass (the auditor/catch-up path), and verifies the
+off-line pass reaches the same indications as the on-line one.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_util import emit, reset
+
+from repro.analysis.reporting import format_table, shape_check
+from repro.interpret.interpreter import Interpreter
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.types import Label
+
+
+def build_dag(instances=20, rounds=8):
+    cluster = Cluster(
+        brb_protocol, n=4, config=ClusterConfig(auto_interpret=False)
+    )
+    for i in range(instances):
+        cluster.request(
+            cluster.servers[i % 4], Label(f"t{i}"), Broadcast(i)
+        )
+    cluster.run_rounds(rounds)
+    return cluster
+
+
+def test_offline_interpretation_cost(benchmark):
+    reset("CLM_OFFLINE")
+    cluster = build_dag()
+    dag = cluster.shim(cluster.servers[0]).dag
+
+    def interpret_offline():
+        interp = Interpreter(dag, brb_protocol, cluster.servers)
+        interp.run()
+        return interp
+
+    interp = benchmark(interpret_offline)
+    rows = [
+        {
+            "blocks": interp.blocks_interpreted,
+            "messages materialized": interp.messages_materialized,
+            "indications": len(interp.events),
+            "wire msgs during interpretation": 0,
+        }
+    ]
+    emit(
+        "CLM_OFFLINE",
+        format_table(
+            rows, title="CLM-OFFLINE — standalone interpretation of a built DAG"
+        ),
+    )
+    assert interp.blocks_interpreted == len(dag)
+
+
+def test_offline_equals_online(benchmark):
+    """Same workload, interpretation during vs after the run: identical
+    per-server indications."""
+
+    def run_online():
+        cluster = Cluster(brb_protocol, n=4)
+        for i in range(10):
+            cluster.request(cluster.servers[i % 4], Label(f"t{i}"), Broadcast(i))
+        cluster.run_rounds(8)
+        return cluster
+
+    online = benchmark.pedantic(run_online, rounds=1, iterations=1)
+    offline = build_dag(instances=10, rounds=8)
+    for server in offline.correct_servers:
+        offline.shim(server).interpret_now()
+
+    same = all(
+        sorted(map(repr, online.shim(s).indications))
+        == sorted(map(repr, offline.shim(s).indications))
+        for s in online.correct_servers
+    )
+    emit(
+        "CLM_OFFLINE",
+        shape_check("off-line indications identical to on-line", same),
+    )
+    assert same

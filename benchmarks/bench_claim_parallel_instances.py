@@ -1,0 +1,105 @@
+"""CLM-PARALLEL — "running many instances of protocols in parallel
+'for free'" (§1, §4).
+
+Measures the marginal wire cost of adding protocol instances: blocks
+sent, wire bytes, and bytes per instance, as the label count sweeps.
+
+Shape to reproduce: block count is *flat* in the number of instances
+(O(1) blocks per round per server); total bytes grow only by the
+request payloads (the rs field); amortized bytes per instance fall
+hyperbolically.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_util import emit, reset
+
+from repro.analysis.reporting import format_series, format_table, shape_check
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.runtime.cluster import Cluster
+from repro.types import Label
+
+ROUNDS = 6
+
+
+def run(instances, n=4):
+    cluster = Cluster(brb_protocol, n=n)
+    for i in range(instances):
+        cluster.request(cluster.servers[i % n], Label(f"t{i}"), Broadcast(i))
+    cluster.run_rounds(ROUNDS)
+    return cluster
+
+
+def test_marginal_cost_of_instances(benchmark):
+    reset("CLM_PARALLEL")
+    rows = []
+    blocks_series = []
+    bytes_per_instance = []
+    for instances in (1, 2, 10, 50, 200):
+        cluster = run(instances)
+        delivered = sum(
+            1
+            for s in cluster.shims.values()
+            for _ in s.indications
+        )
+        blocks = cluster.total_blocks()
+        wire_bytes = cluster.sim.metrics.bytes
+        rows.append(
+            {
+                "#instances": instances,
+                "blocks": blocks,
+                "wire envelopes": cluster.sim.metrics.messages,
+                "wire bytes": wire_bytes,
+                "bytes/instance": round(wire_bytes / instances, 1),
+                "delivered": delivered,
+            }
+        )
+        blocks_series.append((instances, blocks))
+        bytes_per_instance.append((instances, round(wire_bytes / instances, 1)))
+    emit(
+        "CLM_PARALLEL",
+        format_table(
+            rows, title="CLM-PARALLEL — marginal cost of parallel instances"
+        ),
+    )
+    emit(
+        "CLM_PARALLEL",
+        format_series(
+            bytes_per_instance,
+            x_name="#instances",
+            y_name="bytes/instance",
+            title="Amortized wire bytes per instance (falls as instances ride free)",
+        ),
+    )
+    block_counts = [b for _, b in blocks_series]
+    checks = [
+        shape_check(
+            f"block count flat across 1→200 instances ({block_counts[0]} → "
+            f"{block_counts[-1]})",
+            block_counts[0] == block_counts[-1],
+        ),
+        shape_check(
+            "amortized bytes/instance strictly falling",
+            all(
+                a > b
+                for (_, a), (_, b) in zip(bytes_per_instance, bytes_per_instance[1:])
+            ),
+        ),
+    ]
+    emit("CLM_PARALLEL", "\n".join(checks))
+    assert block_counts[0] == block_counts[-1]
+
+    benchmark.pedantic(run, args=(50,), rounds=3, iterations=1)
+
+
+def test_all_instances_complete(benchmark):
+    """'For free' must not mean 'best effort': every one of 200
+    instances delivers at every server."""
+    cluster = benchmark.pedantic(run, args=(200,), rounds=1, iterations=1)
+    for i in range(200):
+        lbl = Label(f"t{i}")
+        for server in cluster.correct_servers:
+            assert cluster.shim(server).indications_for(lbl), (i, server)

@@ -1,0 +1,134 @@
+"""CLM-O2 — the §7 cost note: "a server must include references to all
+blocks by other parties into their own blocks, which represents an
+O(n²) overhead (admittedly with a small constant, since a cryptographic
+hash is sufficient)".
+
+Measures references per block and reference bytes vs payload bytes as
+the cluster size sweeps.
+
+Shape to reproduce: refs per block ≈ n (so n² per round across the
+cluster); reference bytes stay a modest fraction of block size for
+realistic payloads (the 'small constant').
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_util import emit, reset
+
+from repro.analysis.reporting import format_series, format_table, shape_check
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.runtime.cluster import Cluster
+from repro.types import Label
+
+ROUNDS = 6
+
+
+def run(n, instances_per_round=8):
+    cluster = Cluster(brb_protocol, n=n)
+    tx = 0
+    for _ in range(ROUNDS):
+        for _ in range(instances_per_round):
+            cluster.request(
+                cluster.servers[tx % n], Label(f"t{tx}"), Broadcast(f"v{tx}" * 8)
+            )
+            tx += 1
+        cluster.round()
+    return cluster
+
+
+def test_preds_overhead_sweep(benchmark):
+    reset("CLM_O2")
+    rows = []
+    refs_series = []
+    for n in (4, 7, 10, 13):
+        cluster = run(n)
+        dag = cluster.shim(cluster.servers[0]).dag
+        non_genesis = [b for b in dag.blocks() if not b.is_genesis]
+        refs_per_block = sum(len(b.preds) for b in non_genesis) / len(non_genesis)
+        ref_bytes = sum(32 * len(b.preds) for b in dag.blocks())
+        total_bytes = sum(b.wire_size() for b in dag.blocks())
+        rows.append(
+            {
+                "n": n,
+                "avg refs/block": round(refs_per_block, 2),
+                "refs/round (cluster)": round(refs_per_block * n, 1),
+                "ref bytes": ref_bytes,
+                "total bytes": total_bytes,
+                "ref fraction": f"{ref_bytes / total_bytes:.1%}",
+            }
+        )
+        refs_series.append((n, round(refs_per_block, 2)))
+    emit(
+        "CLM_O2",
+        format_table(rows, title="CLM-O2 — predecessor-reference overhead vs n"),
+    )
+    emit(
+        "CLM_O2",
+        format_series(
+            refs_series,
+            x_name="n",
+            y_name="refs/block",
+            title="References per block grow ≈ linearly in n (⇒ n² per round)",
+        ),
+    )
+    refs = [r for _, r in refs_series]
+    ns = [n for n, _ in refs_series]
+    # Linear shape: refs/block ≈ n within 25%.
+    linearish = all(abs(r - n) / n < 0.25 for n, r in zip(ns, refs))
+    emit("CLM_O2", shape_check("refs per block ≈ n (linear)", linearish))
+    assert linearish
+
+    benchmark.pedantic(run, args=(7,), rounds=3, iterations=1)
+
+
+def test_small_constant_relative_to_payload(benchmark):
+    """The 'admittedly with a small constant' half of the §7 note: each
+    reference costs one 32-byte hash, so with realistic transaction
+    batches the reference overhead becomes a small fraction of block
+    bytes.  Sweep the per-round batch size at fixed n = 7."""
+    rows = []
+    fractions = []
+    for batch in (1, 8, 64, 256):
+        cluster = run(7, instances_per_round=batch)
+        dag = cluster.shim(cluster.servers[0]).dag
+        ref_bytes = sum(32 * len(b.preds) for b in dag.blocks())
+        total_bytes = sum(b.wire_size() for b in dag.blocks())
+        fraction = ref_bytes / total_bytes
+        fractions.append(fraction)
+        rows.append(
+            {
+                "batch/round": batch,
+                "ref bytes": ref_bytes,
+                "total bytes": total_bytes,
+                "ref fraction": f"{fraction:.1%}",
+            }
+        )
+    emit(
+        "CLM_O2",
+        format_table(
+            rows,
+            title="CLM-O2 — reference overhead vs payload batch size (n=7)",
+        ),
+    )
+    emit(
+        "CLM_O2",
+        "\n".join(
+            [
+                shape_check(
+                    "ref fraction falls monotonically as payload grows",
+                    all(a > b for a, b in zip(fractions, fractions[1:])),
+                ),
+                shape_check(
+                    f"ref fraction small ({fractions[-1]:.1%}) at realistic "
+                    f"batches — the paper's 'small constant'",
+                    fractions[-1] < 0.10,
+                ),
+            ]
+        ),
+    )
+    assert fractions[-1] < 0.10
+
+    benchmark.pedantic(run, args=(7, 64), rounds=1, iterations=1)

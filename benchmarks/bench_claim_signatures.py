@@ -1,0 +1,122 @@
+"""CLM-SIG — batch signatures: "it suffices, that every server signs
+their blocks" (§5).
+
+Counts signature operations (sign + verify) in both runtimes across an
+instance sweep, with a CountingScheme wrapping the same HMAC backend.
+
+Shape to reproduce: the baseline's signature ops grow linearly with the
+number of instances (every protocol message signed + verified); the
+embedding's stay flat (one signature per block, regardless of how many
+instances ride it).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_util import emit, reset
+
+from repro.analysis.reporting import format_table, shape_check
+from repro.crypto.signatures import CountingScheme, HmacScheme
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.runtime.cluster import Cluster
+from repro.runtime.direct import DirectRuntime
+from repro.types import Label, make_servers
+
+ROUNDS = 6
+
+
+def run_pair(instances, n=4):
+    dag_scheme = CountingScheme(HmacScheme())
+    cluster = Cluster(brb_protocol, n=n, scheme=dag_scheme)
+    direct_scheme = CountingScheme(HmacScheme())
+    direct = DirectRuntime(
+        brb_protocol, servers=make_servers(n), scheme=direct_scheme
+    )
+    for i in range(instances):
+        lbl = Label(f"t{i}")
+        cluster.request(cluster.servers[i % n], lbl, Broadcast(i))
+        direct.request(direct.servers[i % n], lbl, Broadcast(i))
+    cluster.run_rounds(ROUNDS)
+    direct.run()
+    return dag_scheme, direct_scheme, cluster
+
+
+def test_signature_ops_sweep(benchmark):
+    reset("CLM_SIG")
+    rows = []
+    dag_ops, direct_ops = [], []
+    for instances in (1, 5, 25, 100):
+        dag_scheme, direct_scheme, cluster = run_pair(instances)
+        dag_total = dag_scheme.sign_count + dag_scheme.verify_count
+        direct_total = direct_scheme.sign_count + direct_scheme.verify_count
+        dag_ops.append(dag_total)
+        direct_ops.append(direct_total)
+        rows.append(
+            {
+                "#instances": instances,
+                "dag sign": dag_scheme.sign_count,
+                "dag verify": dag_scheme.verify_count,
+                "direct sign": direct_scheme.sign_count,
+                "direct verify": direct_scheme.verify_count,
+                "ratio": round(direct_total / dag_total, 2),
+            }
+        )
+    emit(
+        "CLM_SIG",
+        format_table(
+            rows, title="CLM-SIG — signature operations, embedding vs direct"
+        ),
+    )
+    checks = [
+        shape_check(
+            "embedding's signature ops independent of #instances "
+            f"({dag_ops[0]} → {dag_ops[-1]})",
+            dag_ops[-1] <= dag_ops[0] * 1.25,
+        ),
+        shape_check(
+            "baseline's signature ops grow ~linearly "
+            f"({direct_ops[0]} → {direct_ops[-1]})",
+            direct_ops[-1] > direct_ops[0] * 30,
+        ),
+        shape_check(
+            "embedding wins by >10x at 100 instances",
+            direct_ops[-1] / dag_ops[-1] > 10,
+        ),
+    ]
+    emit("CLM_SIG", "\n".join(checks))
+    assert direct_ops[-1] / dag_ops[-1] > 10
+
+    benchmark.pedantic(run_pair, args=(25,), rounds=3, iterations=1)
+
+
+def test_signatures_per_delivery(benchmark):
+    """Per delivered broadcast: Θ(1) block signatures amortized across
+    instances vs Θ(n) per-message signatures in the baseline."""
+    instances = 50
+    dag_scheme, direct_scheme, cluster = benchmark.pedantic(
+        run_pair, args=(instances,), rounds=1, iterations=1
+    )
+    deliveries = sum(len(s.indications) for s in cluster.shims.values())
+    dag_per_delivery = (dag_scheme.sign_count + dag_scheme.verify_count) / deliveries
+    direct_per_delivery = (
+        direct_scheme.sign_count + direct_scheme.verify_count
+    ) / (instances * 4)
+    emit(
+        "CLM_SIG",
+        format_table(
+            [
+                {
+                    "runtime": "block-dag",
+                    "sig ops / delivery": round(dag_per_delivery, 2),
+                },
+                {
+                    "runtime": "direct",
+                    "sig ops / delivery": round(direct_per_delivery, 2),
+                },
+            ],
+            title=f"Signature ops per delivered broadcast ({instances} instances)",
+        ),
+    )
+    assert dag_per_delivery < direct_per_delivery

@@ -1,0 +1,157 @@
+"""CLM-THROUGHPUT — batching transactions into blocks → high throughput.
+
+The paper attributes the "many 100,000 tx/s" reports of Hashgraph /
+Blockmania (§3) to batching: each block carries many requests, so wire
+cost per transaction collapses.  Absolute numbers are testbed-bound;
+the *shape* we reproduce in logical time:
+
+* embedding throughput (delivered broadcasts per unit of virtual time)
+  grows ~linearly with the per-round batch size at near-constant wire
+  envelopes;
+* the direct baseline's wire messages grow linearly with transactions,
+  so its bytes/tx is flat — the embedding's falls and crosses below it;
+* delivery latency (rounds) stays flat as batch size grows.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_util import emit, reset
+
+from repro.analysis.reporting import format_series, format_table, shape_check
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.runtime.cluster import Cluster
+from repro.runtime.direct import DirectRuntime
+from repro.types import Label, make_servers
+
+ROUNDS = 6
+N = 4
+
+
+def run_embedding(batch_per_round):
+    cluster = Cluster(brb_protocol, n=N)
+    tx = 0
+    for _ in range(ROUNDS):
+        for _ in range(batch_per_round):
+            cluster.request(
+                cluster.servers[tx % N], Label(f"t{tx}"), Broadcast(tx)
+            )
+            tx += 1
+        cluster.round()
+    cluster.settle(3)
+    delivered_instances = sum(
+        1
+        for i in range(tx)
+        if all(
+            cluster.shim(s).indications_for(Label(f"t{i}"))
+            for s in cluster.correct_servers
+        )
+    )
+    return cluster, tx, delivered_instances
+
+
+def run_direct(total_tx):
+    direct = DirectRuntime(brb_protocol, servers=make_servers(N))
+    for i in range(total_tx):
+        direct.request(direct.servers[i % N], Label(f"t{i}"), Broadcast(i))
+    direct.run()
+    return direct
+
+
+def test_throughput_vs_batch_size(benchmark):
+    reset("CLM_THROUGHPUT")
+    rows = []
+    tx_per_time = []
+    bytes_per_tx_dag = []
+    bytes_per_tx_direct = []
+    for batch in (1, 4, 16, 64):
+        cluster, total_tx, delivered = run_embedding(batch)
+        throughput = delivered / cluster.sim.now
+        direct = run_direct(total_tx)
+        dag_bpt = cluster.sim.metrics.bytes / max(delivered, 1)
+        direct_bpt = direct.sim.metrics.bytes / total_tx
+        rows.append(
+            {
+                "batch/round": batch,
+                "tx total": total_tx,
+                "delivered": delivered,
+                "tx per t": round(throughput, 2),
+                "dag B/tx": round(dag_bpt, 1),
+                "direct B/tx": round(direct_bpt, 1),
+                "dag envs": cluster.sim.metrics.messages,
+                "direct envs": direct.sim.metrics.messages,
+            }
+        )
+        tx_per_time.append((batch, round(throughput, 2)))
+        bytes_per_tx_dag.append(dag_bpt)
+        bytes_per_tx_direct.append(direct_bpt)
+    emit(
+        "CLM_THROUGHPUT",
+        format_table(
+            rows,
+            title="CLM-THROUGHPUT — logical-time throughput vs batch size (BRB, n=4)",
+        ),
+    )
+    emit(
+        "CLM_THROUGHPUT",
+        format_series(
+            tx_per_time,
+            x_name="batch/round",
+            y_name="tx per unit time",
+            title="Embedding throughput scales with batching",
+        ),
+    )
+    checks = [
+        shape_check(
+            "embedding throughput grows with batch size",
+            all(a < b for (_, a), (_, b) in zip(tx_per_time, tx_per_time[1:])),
+        ),
+        shape_check(
+            "direct baseline bytes/tx flat (every tx pays full message cost)",
+            max(bytes_per_tx_direct) / min(bytes_per_tx_direct) < 1.3,
+        ),
+        shape_check(
+            "embedding bytes/tx falls below direct at large batches (crossover)",
+            bytes_per_tx_dag[-1] < bytes_per_tx_direct[-1]
+            and bytes_per_tx_dag[0] > bytes_per_tx_direct[0],
+        ),
+    ]
+    emit("CLM_THROUGHPUT", "\n".join(checks))
+    assert tx_per_time[-1][1] > tx_per_time[0][1] * 10
+
+    benchmark.pedantic(run_embedding, args=(16,), rounds=3, iterations=1)
+
+
+def test_latency_flat_under_batching(benchmark):
+    """Batching must not stretch delivery latency: a broadcast issued in
+    round r still delivers ~3 layers later regardless of batch size."""
+    rows = []
+    latencies = []
+    for batch in (1, 16, 64):
+        cluster = Cluster(brb_protocol, n=N)
+        probe = Label("probe")
+        cluster.request(cluster.servers[0], probe, Broadcast("x"))
+        for i in range(batch):
+            cluster.request(
+                cluster.servers[i % N], Label(f"bg{i}"), Broadcast(i)
+            )
+        rounds = cluster.run_until(lambda c: c.all_delivered(probe), max_rounds=12)
+        rows.append({"batch": batch, "delivery rounds": rounds})
+        latencies.append(rounds)
+    emit(
+        "CLM_THROUGHPUT",
+        format_table(rows, title="Probe delivery latency vs background batch"),
+    )
+    emit(
+        "CLM_THROUGHPUT",
+        shape_check(
+            "latency flat in batch size", max(latencies) == min(latencies)
+        ),
+    )
+    assert max(latencies) == min(latencies)
+
+    benchmark.pedantic(
+        lambda: run_embedding(4), rounds=3, iterations=1
+    )

@@ -1,0 +1,107 @@
+"""LEM43 — the interpreted link's three properties, measured over
+randomized gossip schedules.
+
+For a seed sweep: delivery completeness (reliable delivery), per-server
+delivery counts (no duplication) and sender attribution (authenticity),
+plus the round-latency distribution of end-to-end BRB delivery.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_util import emit, reset
+
+from repro.analysis.reporting import format_series, format_table, shape_check
+from repro.net.latency import JitterLatency
+from repro.protocols.counter import Inc, counter_protocol
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.types import Label
+
+L = Label("l")
+SEEDS = range(12)
+
+
+def run_counter(seed):
+    config = ClusterConfig(latency=JitterLatency(0.2, 3.0), seed=seed)
+    cluster = Cluster(counter_protocol, n=4, config=config)
+    amounts = [1, 10, 100]
+    for server, amount in zip(cluster.servers, amounts):
+        cluster.request(server, L, Inc(amount))
+    cluster.run_rounds(6)
+    cluster.run_until(lambda c: c.dags_converged(), max_rounds=10)
+    cluster.run_rounds(1)
+    return cluster, sum(amounts)
+
+
+def test_link_properties_over_seeds(benchmark):
+    reset("LEM43")
+    rows = []
+    reliable, no_dup, authentic = True, True, True
+    for seed in SEEDS:
+        cluster, expected = run_counter(seed)
+        totals = []
+        for server in cluster.correct_servers:
+            shim = cluster.shim(server)
+            tip = shim.dag.tip(server)
+            totals.append(shim.interpreter.state_of(tip.ref).pis[L].total)
+        ok_total = all(t == expected for t in totals)
+        reliable &= ok_total
+        no_dup &= all(t <= expected for t in totals)
+        # Authenticity: every out-message's sender is its block's builder.
+        shim = cluster.shim(cluster.servers[0])
+        for block in shim.dag.blocks():
+            state = shim.interpreter.state_of(block.ref)
+            for message in state.ms.outgoing(L):
+                authentic &= message.sender == block.n
+        rows.append(
+            {"seed": seed, "totals": totals[0], "expected": expected, "ok": ok_total}
+        )
+    emit(
+        "LEM43",
+        format_table(rows, title="LEM43 — delivery totals across 12 random schedules"),
+    )
+    checks = [
+        shape_check("reliable delivery (all totals = sum of Incs)", reliable),
+        shape_check("no duplication (no total overshoot)", no_dup),
+        shape_check("authenticity (sender = block builder, Lemma A.14)", authentic),
+    ]
+    emit("LEM43", "\n".join(checks))
+    assert reliable and no_dup and authentic
+
+    benchmark.pedantic(run_counter, args=(0,), rounds=3, iterations=1)
+
+
+def test_delivery_latency_distribution(benchmark):
+    """Rounds until full BRB delivery, across seeds — the 'eventually'
+    of reliable delivery made quantitative."""
+    latencies = []
+    for seed in SEEDS:
+        config = ClusterConfig(latency=JitterLatency(0.2, 2.0), seed=seed)
+        cluster = Cluster(brb_protocol, n=4, config=config)
+        cluster.request(cluster.servers[0], L, Broadcast("x"))
+        rounds = cluster.run_until(lambda c: c.all_delivered(L), max_rounds=20)
+        latencies.append(rounds)
+    histogram = {}
+    for value in latencies:
+        histogram[value] = histogram.get(value, 0) + 1
+    emit(
+        "LEM43",
+        format_series(
+            sorted(histogram.items()),
+            x_name="rounds",
+            y_name="#runs",
+            title="BRB delivery latency distribution (12 seeds, jittered net)",
+        ),
+    )
+    assert max(latencies) <= 8
+
+    def once():
+        config = ClusterConfig(latency=JitterLatency(0.2, 2.0), seed=1)
+        cluster = Cluster(brb_protocol, n=4, config=config)
+        cluster.request(cluster.servers[0], L, Broadcast("x"))
+        cluster.run_until(lambda c: c.all_delivered(L), max_rounds=20)
+
+    benchmark.pedantic(once, rounds=3, iterations=1)

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: embed byzantine reliable broadcast in a block DAG.
+
+Four servers run ``shim(P)`` with P = reliable broadcast (the paper's
+§5 example).  One server broadcasts a value; the block DAG carries it
+without a single protocol message on the wire; everyone delivers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Broadcast, Cluster, brb_protocol, label
+from repro.viz import render_lanes
+
+
+def main() -> None:
+    # A fault-free 4-server cluster (n = 3f+1 with f = 1).
+    cluster = Cluster(brb_protocol, n=4)
+    tx = label("tx-1")
+
+    # The user of P at s1 requests broadcast(42) (Algorithm 3 line 6).
+    cluster.request(cluster.servers[0], tx, Broadcast(42))
+
+    # Drive dissemination rounds until every server delivered.
+    rounds = cluster.run_until(lambda c: c.all_delivered(tx))
+    print(f"delivered at all servers after {rounds} rounds\n")
+
+    for server in cluster.correct_servers:
+        indications = cluster.shim(server).indications_for(tx)
+        print(f"  {server}: {indications}")
+
+    print("\nThe joint block DAG (one lane per server):\n")
+    print(render_lanes(cluster.shim(cluster.servers[0]).dag))
+
+    wire = cluster.sim.metrics
+    interp = cluster.interpreter_metrics()
+    print(f"\nwire traffic : {wire.messages} envelopes, {wire.bytes} bytes")
+    print(
+        f"interpreted  : {interp['messages_materialized']} protocol messages "
+        f"materialized locally — none of them ever crossed the network"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The runtime environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs are unavailable; this file enables the classic
+``pip install -e .`` path.  Metadata mirrors pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Embedding a deterministic BFT protocol in a block DAG "
+        "(Schett & Danezis, PODC 2021) — full reproduction"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,110 @@
+"""repro — Embedding a Deterministic BFT Protocol in a Block DAG.
+
+A full reproduction of Schett & Danezis (PODC 2021, arXiv:2102.09594):
+the block DAG framework (``gossip`` + ``interpret`` + ``shim``), several
+deterministic BFT protocols to embed (reliable broadcast, consistent
+broadcast, PBFT-style consensus, phase king), the network and key-value
+store substrates they run on, a direct-messaging baseline, and the
+analysis tooling behind the paper's efficiency claims.
+
+Quickstart::
+
+    from repro import Cluster, brb_protocol, Broadcast, label
+
+    cluster = Cluster(brb_protocol, n=4)
+    cluster.request(cluster.servers[0], label("tx-1"), Broadcast(42))
+    cluster.run_until(lambda c: c.all_delivered(label("tx-1")))
+    print(cluster.shim(cluster.servers[1]).indications_for(label("tx-1")))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.accountability import EquivocationEvidence, audit, collect_evidence, verify_evidence
+from repro.crypto import (
+    CountingScheme,
+    Ed25519Scheme,
+    HmacScheme,
+    KeyRing,
+    NullScheme,
+)
+from repro.dag import Block, BlockBuilder, BlockDag, Digraph, genesis_block
+from repro.dag.blockdag import Validator, Validity
+from repro.gossip import Gossip, GossipConfig
+from repro.interpret import Interpreter
+from repro.net import (
+    FaultPlan,
+    FixedLatency,
+    HealingPartition,
+    JitterLatency,
+    NetworkSimulator,
+)
+from repro.protocols import (
+    Broadcast,
+    Deliver,
+    ProtocolSpec,
+    bcb_protocol,
+    brb_protocol,
+    counter_protocol,
+    pbft_protocol,
+    phase_king_protocol,
+)
+from repro.runtime import (
+    Cluster,
+    ClusterConfig,
+    DirectRuntime,
+    EquivocatorAdversary,
+    SilentAdversary,
+    equivalent_traces,
+)
+from repro.shim import Shim
+from repro.types import Label, ServerId, label, make_servers, server_id
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Block",
+    "EquivocationEvidence",
+    "audit",
+    "collect_evidence",
+    "verify_evidence",
+    "BlockBuilder",
+    "BlockDag",
+    "Broadcast",
+    "Cluster",
+    "ClusterConfig",
+    "CountingScheme",
+    "Deliver",
+    "Digraph",
+    "DirectRuntime",
+    "Ed25519Scheme",
+    "EquivocatorAdversary",
+    "FaultPlan",
+    "FixedLatency",
+    "Gossip",
+    "GossipConfig",
+    "HealingPartition",
+    "HmacScheme",
+    "Interpreter",
+    "JitterLatency",
+    "KeyRing",
+    "Label",
+    "NetworkSimulator",
+    "NullScheme",
+    "ProtocolSpec",
+    "ServerId",
+    "Shim",
+    "SilentAdversary",
+    "Validator",
+    "Validity",
+    "bcb_protocol",
+    "brb_protocol",
+    "counter_protocol",
+    "equivalent_traces",
+    "genesis_block",
+    "label",
+    "make_servers",
+    "pbft_protocol",
+    "phase_king_protocol",
+    "server_id",
+]

@@ -1,0 +1,93 @@
+"""Equivocation accountability — the §6 Polygraph remark, implemented.
+
+The paper notes: "we believe nothing precludes our proposed framework
+to be adapted to hold equivocating servers accountable, drawing e.g. on
+recent work from Polygraph" (§6).  This module does the part that needs
+no protocol changes at all: because every block is signed over its
+content hash, *two* blocks by the same builder with the same sequence
+number are a self-contained, transferable proof of equivocation — any
+third party can verify both signatures and conclude misbehaviour,
+without trusting the accuser.
+
+:func:`collect_evidence` scans a DAG for such pairs;
+:func:`verify_evidence` replays the check from nothing but the
+certificate and the public key material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyRing
+from repro.dag.block import Block
+from repro.dag.blockdag import BlockDag
+from repro.types import SeqNum, ServerId
+
+
+@dataclass(frozen=True)
+class EquivocationEvidence:
+    """A transferable certificate that ``culprit`` equivocated at
+    sequence ``seq``: two distinct, individually signed blocks."""
+
+    culprit: ServerId
+    seq: SeqNum
+    block_a: Block
+    block_b: Block
+
+    def __post_init__(self) -> None:
+        if self.block_a.ref == self.block_b.ref:
+            raise ValueError("evidence requires two distinct blocks")
+
+
+def collect_evidence(dag: BlockDag) -> list[EquivocationEvidence]:
+    """All equivocation certificates extractable from ``dag``.
+
+    One certificate per culprit/sequence pair (the first two branches;
+    more branches add nothing to the verdict).
+    """
+    evidence = []
+    for (culprit, seq), blocks in sorted(dag.forks().items()):
+        evidence.append(
+            EquivocationEvidence(
+                culprit=culprit,
+                seq=seq,
+                block_a=blocks[0],
+                block_b=blocks[1],
+            )
+        )
+    return evidence
+
+
+def verify_evidence(evidence: EquivocationEvidence, keyring: KeyRing) -> bool:
+    """Re-check a certificate from scratch: both blocks must carry the
+    culprit's identity and sequence number, be distinct in content, and
+    verify under the culprit's key.
+
+    This is everything a judge needs — no DAG, no network history, no
+    trust in whoever produced the certificate.
+    """
+    a, b = evidence.block_a, evidence.block_b
+    if a.n != evidence.culprit or b.n != evidence.culprit:
+        return False
+    if a.k != evidence.seq or b.k != evidence.seq:
+        return False
+    if a.ref == b.ref:
+        return False
+    for block in (a, b):
+        if not keyring.verify(block.n, block.signing_payload(), block.sigma):
+            return False
+    return True
+
+
+def audit(dag: BlockDag, keyring: KeyRing) -> dict[ServerId, list[EquivocationEvidence]]:
+    """Scan, verify, and group all evidence in a DAG by culprit.
+
+    Only certificates that pass :func:`verify_evidence` are returned —
+    a corrupted store cannot frame a correct server, because framing
+    would require forging its signature.
+    """
+    verdicts: dict[ServerId, list[EquivocationEvidence]] = {}
+    for evidence in collect_evidence(dag):
+        if verify_evidence(evidence, keyring):
+            verdicts.setdefault(evidence.culprit, []).append(evidence)
+    return verdicts

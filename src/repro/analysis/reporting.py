@@ -1,0 +1,76 @@
+"""Plain-text tables and series — the reproduction's "figures".
+
+The paper is a theory paper; its evaluation artefacts are worked
+figures plus efficiency claims.  The benchmark harness regenerates them
+as text tables (rows of dicts) and series (x/y pairs).  Keeping the
+renderer dependency-free means benchmark output lands in CI logs and
+EXPERIMENTS.md verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    title: str | None = None,
+) -> str:
+    """Render rows (dicts sharing keys) as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(
+                str(row.get(column, "")).ljust(widths[column]) for column in columns
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    points: Iterable[tuple[object, object]],
+    x_name: str = "x",
+    y_name: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render an (x, y) series as a two-column table with a crude
+    ASCII bar for the y magnitude — the closest honest analogue of a
+    figure in text output."""
+    points = list(points)
+    numeric = [float(y) for _, y in points] if points else []
+    peak = max(numeric, default=0.0)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_name:>12} | {y_name:>14} |")
+    for (x, y), value in zip(points, numeric):
+        bar = "#" * (int(30 * value / peak) if peak > 0 else 0)
+        lines.append(f"{str(x):>12} | {str(y):>14} | {bar}")
+    return "\n".join(lines)
+
+
+def shape_check(
+    description: str,
+    holds: bool,
+) -> str:
+    """One line of the 'shape' verdicts EXPERIMENTS.md records:
+    the qualitative relationships (who wins, what grows) the
+    reproduction promises to preserve."""
+    status = "OK " if holds else "FAIL"
+    return f"[{status}] {description}"

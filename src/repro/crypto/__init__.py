@@ -1,0 +1,40 @@
+"""Cryptographic primitives (paper §2 and Definition A.1).
+
+The paper assumes a secure hash function ``#`` (used as ``ref`` over
+blocks) and a signature scheme ``sign``/``verify`` with negligible —
+assumed zero — failure probability.  This package provides:
+
+* :mod:`repro.crypto.hashing` — SHA-256 based content hashing with
+  domain separation, used for ``ref(B)``.
+* :mod:`repro.crypto.ed25519` — a real, pure-Python Ed25519
+  implementation (RFC 8032), for fidelity.
+* :mod:`repro.crypto.signatures` — the pluggable
+  :class:`~repro.crypto.signatures.SignatureScheme` interface with
+  Ed25519, HMAC (fast simulation) and null (counting-only) backends.
+* :mod:`repro.crypto.keys` — the :class:`~repro.crypto.keys.KeyRing`
+  binding server identifiers to key material.
+"""
+
+from repro.crypto.hashing import Hash, hash_bytes, hash_fields
+from repro.crypto.keys import KeyRing
+from repro.crypto.signatures import (
+    CountingScheme,
+    Ed25519Scheme,
+    HmacScheme,
+    NullScheme,
+    Signature,
+    SignatureScheme,
+)
+
+__all__ = [
+    "CountingScheme",
+    "Ed25519Scheme",
+    "Hash",
+    "HmacScheme",
+    "KeyRing",
+    "NullScheme",
+    "Signature",
+    "SignatureScheme",
+    "hash_bytes",
+    "hash_fields",
+]

@@ -1,0 +1,173 @@
+"""Pure-Python Ed25519 (RFC 8032).
+
+This is a faithful transcription of the RFC 8032 reference algorithm:
+twisted Edwards curve points in extended homogeneous coordinates,
+SHA-512 based nonce derivation, cofactorless verification.  It is
+*slow* (a few milliseconds per operation) but *real* — signatures
+produced here interoperate with any standard Ed25519 implementation.
+
+The library uses it through :class:`repro.crypto.signatures.Ed25519Scheme`
+when fidelity matters (e.g. small end-to-end tests); large simulations
+use the HMAC scheme instead, which the paper's zero-failure assumption
+(§2) makes behaviourally equivalent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+# Curve constants -----------------------------------------------------------
+
+#: Field prime of Curve25519.
+P = 2**255 - 19
+
+#: Group order of the Ed25519 base point.
+Q = 2**252 + 27742317777372353535851937790883648493
+
+
+def _sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def _modp_inv(x: int) -> int:
+    return pow(x, P - 2, P)
+
+
+#: Twisted Edwards curve coefficient d = -121665/121666 mod p.
+D = -121665 * _modp_inv(121666) % P
+
+_SQRT_M1 = pow(2, (P - 1) // 4, P)
+
+# Points are (X, Y, Z, T) in extended homogeneous coordinates with
+# x = X/Z, y = Y/Z, x*y = T/Z.
+_Point = tuple[int, int, int, int]
+
+#: Neutral element of the curve group.
+NEUTRAL: _Point = (0, 1, 1, 0)
+
+
+def _point_add(a: _Point, b: _Point) -> _Point:
+    lhs = (a[1] - a[0]) * (b[1] - b[0]) % P
+    rhs = (a[1] + a[0]) * (b[1] + b[0]) % P
+    tt = 2 * a[3] * b[3] * D % P
+    zz = 2 * a[2] * b[2] % P
+    e = rhs - lhs
+    f = zz - tt
+    g = zz + tt
+    h = rhs + lhs
+    return (e * f % P, g * h % P, f * g % P, e * h % P)
+
+
+def _point_mul(scalar: int, point: _Point) -> _Point:
+    result = NEUTRAL
+    while scalar > 0:
+        if scalar & 1:
+            result = _point_add(result, point)
+        point = _point_add(point, point)
+        scalar >>= 1
+    return result
+
+
+def _point_equal(a: _Point, b: _Point) -> bool:
+    if (a[0] * b[2] - b[0] * a[2]) % P != 0:
+        return False
+    if (a[1] * b[2] - b[1] * a[2]) % P != 0:
+        return False
+    return True
+
+
+def _recover_x(y: int, sign_bit: int) -> int | None:
+    if y >= P:
+        return None
+    x2 = (y * y - 1) * _modp_inv(D * y * y + 1) % P
+    if x2 == 0:
+        return None if sign_bit else 0
+    x = pow(x2, (P + 3) // 8, P)
+    if (x * x - x2) % P != 0:
+        x = x * _SQRT_M1 % P
+    if (x * x - x2) % P != 0:
+        return None
+    if (x & 1) != sign_bit:
+        x = P - x
+    return x
+
+
+_G_Y = 4 * _modp_inv(5) % P
+_G_X = _recover_x(_G_Y, 0)
+assert _G_X is not None
+
+#: The Ed25519 base point.
+BASE: _Point = (_G_X, _G_Y, 1, _G_X * _G_Y % P)
+
+
+def _point_compress(point: _Point) -> bytes:
+    zinv = _modp_inv(point[2])
+    x = point[0] * zinv % P
+    y = point[1] * zinv % P
+    return int.to_bytes(y | ((x & 1) << 255), 32, "little")
+
+
+def _point_decompress(data: bytes) -> _Point | None:
+    if len(data) != 32:
+        return None
+    y = int.from_bytes(data, "little")
+    sign_bit = y >> 255
+    y &= (1 << 255) - 1
+    x = _recover_x(y, sign_bit)
+    if x is None:
+        return None
+    return (x, y, 1, x * y % P)
+
+
+def _sha512_modq(data: bytes) -> int:
+    return int.from_bytes(_sha512(data), "little") % Q
+
+
+def _secret_expand(secret: bytes) -> tuple[int, bytes]:
+    if len(secret) != 32:
+        raise ValueError(f"Ed25519 secret key must be 32 bytes, got {len(secret)}")
+    digest = _sha512(secret)
+    scalar = int.from_bytes(digest[:32], "little")
+    scalar &= (1 << 254) - 8
+    scalar |= 1 << 254
+    return scalar, digest[32:]
+
+
+# Public API ----------------------------------------------------------------
+
+
+def secret_to_public(secret: bytes) -> bytes:
+    """Derive the 32-byte public key from a 32-byte secret key."""
+    scalar, _ = _secret_expand(secret)
+    return _point_compress(_point_mul(scalar, BASE))
+
+
+def sign(secret: bytes, message: bytes) -> bytes:
+    """Produce a 64-byte RFC 8032 signature over ``message``."""
+    scalar, prefix = _secret_expand(secret)
+    public = _point_compress(_point_mul(scalar, BASE))
+    r = _sha512_modq(prefix + message)
+    r_point = _point_compress(_point_mul(r, BASE))
+    h = _sha512_modq(r_point + public + message)
+    s = (r + h * scalar) % Q
+    return r_point + int.to_bytes(s, 32, "little")
+
+
+def verify(public: bytes, message: bytes, signature: bytes) -> bool:
+    """Check an RFC 8032 signature; returns ``False`` on any malformation."""
+    if len(public) != 32 or len(signature) != 64:
+        return False
+    a_point = _point_decompress(public)
+    if a_point is None:
+        return False
+    r_bytes = signature[:32]
+    r_point = _point_decompress(r_bytes)
+    if r_point is None:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= Q:
+        return False
+    h = _sha512_modq(r_bytes + public + message)
+    sb = _point_mul(s, BASE)
+    ha = _point_mul(h, a_point)
+    return _point_equal(sb, _point_add(r_point, ha))

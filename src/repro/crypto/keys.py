@@ -1,0 +1,60 @@
+"""Key management: binding the server set ``Srvrs`` to a signature scheme.
+
+The system model (§2) fixes a finite, globally-known set of servers.
+:class:`KeyRing` captures that: it registers every server with a
+signature scheme up front and then answers sign/verify requests.  It is
+the single place where "who can sign as whom" is decided, which makes
+byzantine simulations explicit — an adversary only ever signs as the
+identities the test hands it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.crypto.signatures import HmacScheme, Signature, SignatureScheme
+from repro.types import ServerId
+
+
+class KeyRing:
+    """All key material for a fixed server set.
+
+    Parameters
+    ----------
+    servers:
+        The global server set ``Srvrs``.  Fixed at construction, per the
+        system model.
+    scheme:
+        Signature backend; defaults to the fast :class:`HmacScheme`.
+    """
+
+    def __init__(
+        self,
+        servers: Iterable[ServerId],
+        scheme: SignatureScheme | None = None,
+    ) -> None:
+        self._servers: tuple[ServerId, ...] = tuple(servers)
+        if len(set(self._servers)) != len(self._servers):
+            raise ValueError("duplicate server identifiers in key ring")
+        self.scheme = scheme if scheme is not None else HmacScheme()
+        for server in self._servers:
+            self.scheme.register(server)
+
+    @property
+    def servers(self) -> Sequence[ServerId]:
+        """The fixed, ordered server set."""
+        return self._servers
+
+    def __contains__(self, server: object) -> bool:
+        return server in self._servers
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def sign(self, server: ServerId, message: bytes) -> Signature:
+        """Sign ``message`` with ``server``'s key."""
+        return self.scheme.sign(server, message)
+
+    def verify(self, server: ServerId, message: bytes, signature: Signature) -> bool:
+        """Verify ``server``'s signature on ``message``."""
+        return self.scheme.verify(server, message, signature)

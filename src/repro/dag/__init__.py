@@ -1,0 +1,28 @@
+"""Block DAG structures (paper §2–§3).
+
+* :mod:`repro.dag.digraph` — bare directed graphs with the restricted
+  ``insert`` of Definition 2.1 and the ``⩽`` / ``∪`` relations.
+* :mod:`repro.dag.codec` — canonical, injective byte encoding used for
+  ``ref(B)`` and the total message order ``<_M``.
+* :mod:`repro.dag.block` — blocks (Definition 3.1) and references.
+* :mod:`repro.dag.blockdag` — validity (Definition 3.3) and the block
+  DAG proper (Definition 3.4).
+* :mod:`repro.dag.traversal` — topological iteration and the
+  eligibility frontier used by interpretation (Algorithm 2).
+"""
+
+from repro.dag.block import Block, BlockBuilder, genesis_block
+from repro.dag.blockdag import BlockDag, Validator
+from repro.dag.digraph import Digraph
+from repro.dag.traversal import eligible_frontier, topological_order
+
+__all__ = [
+    "Block",
+    "BlockBuilder",
+    "BlockDag",
+    "Digraph",
+    "Validator",
+    "eligible_frontier",
+    "genesis_block",
+    "topological_order",
+]

@@ -1,0 +1,183 @@
+"""Blocks — Definition 3.1.
+
+A block ``B`` carries:
+
+* ``n``     — identifier of the server that built it,
+* ``k``     — sequence number in ``N0``,
+* ``preds`` — an ordered list of references to predecessor blocks,
+* ``rs``    — a list of ``(label, request)`` pairs injected by the user,
+* ``σ``     — a signature over ``ref(B)``.
+
+``ref(B)`` is a hash over ``(n, k, preds, rs)`` — crucially *not* over
+``σ`` so that ``sign(B.n, ref(B))`` is well defined.  Collision
+resistance justifies identifying blocks with their references; the rest
+of the library passes :data:`~repro.types.BlockRef` around and fetches
+full blocks from a store when needed.
+
+The *parent* relation: ``B`` is the parent of ``B'`` when both were
+built by the same server, ``B'.k = B.k + 1``, and ``ref(B) ∈ B'.preds``.
+Validity (Definition 3.3) demands exactly one parent for non-genesis
+blocks, forcing a linear history per correct server; equivocators can
+still fork by signing two blocks with the same ``k`` (Example 3.5 /
+Figure 3), which the interpretation tolerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Sequence
+
+from repro.crypto.hashing import hash_fields
+from repro.crypto.signatures import Signature
+from repro.dag import codec
+from repro.types import BlockRef, Label, Request, SeqNum, ServerId
+
+#: Domain tag for block reference hashes.
+_REF_DOMAIN = "blockdag/ref/v1"
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable block (Definition 3.1).
+
+    Equality and hashing are by ``ref`` — i.e. by content excluding the
+    signature — matching the paper's identification of ``B`` with
+    ``ref(B)``.
+    """
+
+    n: ServerId
+    k: SeqNum
+    preds: tuple[BlockRef, ...]
+    rs: tuple[tuple[Label, Request], ...]
+    sigma: Signature = field(default=Signature(b""), compare=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"sequence number must be in N0, got {self.k}")
+
+    @cached_property
+    def ref(self) -> BlockRef:
+        """``ref(B)`` — content hash over ``(n, k, preds, rs)``, not ``σ``."""
+        return BlockRef(
+            hash_fields(
+                [
+                    codec.encode(str(self.n)),
+                    codec.encode(self.k),
+                    codec.encode([str(p) for p in self.preds]),
+                    codec.encode(list(self.rs)),
+                ],
+                domain=_REF_DOMAIN,
+            )
+        )
+
+    @property
+    def is_genesis(self) -> bool:
+        """Whether ``k = 0``; genesis blocks cannot have a parent."""
+        return self.k == 0
+
+    def signing_payload(self) -> bytes:
+        """The bytes a server signs: the block reference."""
+        return self.ref.encode("ascii")
+
+    def wire_size(self) -> int:
+        """Approximate serialized size in bytes (for the metrics layer).
+
+        Reference hashes count 32 bytes each, the signature 64, plus the
+        canonical encoding of the payload fields.
+        """
+        payload = len(codec.encode(list(self.rs)))
+        header = len(codec.encode(str(self.n))) + len(codec.encode(self.k))
+        return header + 32 * len(self.preds) + payload + 64
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Block):
+            return NotImplemented
+        return self.ref == other.ref
+
+    def __hash__(self) -> int:
+        return hash(self.ref)
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(n={self.n!r}, k={self.k}, |preds|={len(self.preds)}, "
+            f"|rs|={len(self.rs)}, ref={self.ref[:8]}…)"
+        )
+
+
+def genesis_block(
+    server: ServerId,
+    requests: Sequence[tuple[Label, Request]] = (),
+) -> Block:
+    """An unsigned genesis block (``k = 0``, no predecessors) for ``server``."""
+    return Block(n=server, k=0, preds=(), rs=tuple(requests))
+
+
+class BlockBuilder:
+    """Mutable accumulator for the block a server is currently building.
+
+    Mirrors the ``B`` variable of Algorithm 1: gossip appends references
+    to newly validated blocks (line 8) and, on ``disseminate()``, stamps
+    in the pending requests, signs, and rolls over to the next sequence
+    number with the freshly sealed block as parent (lines 15–18).
+    """
+
+    def __init__(self, server: ServerId) -> None:
+        self.server = server
+        self._k: SeqNum = 0
+        self._preds: list[BlockRef] = []
+        self._seen_preds: set[BlockRef] = set()
+
+    @property
+    def next_seq(self) -> SeqNum:
+        """Sequence number the next sealed block will carry."""
+        return self._k
+
+    @property
+    def pending_preds(self) -> tuple[BlockRef, ...]:
+        """References accumulated for the in-progress block."""
+        return tuple(self._preds)
+
+    def add_pred(self, ref: BlockRef) -> bool:
+        """Append a predecessor reference (Algorithm 1 line 8).
+
+        Returns ``False`` if the reference is already pending, keeping
+        each reference at most once per block (cf. Lemma A.6 — a correct
+        server references any given block in at most one of its own
+        blocks; gossip guarantees the cross-block half by only feeding
+        each block through validation once).
+        """
+        if ref in self._seen_preds:
+            return False
+        self._preds.append(ref)
+        self._seen_preds.add(ref)
+        return True
+
+    def seal(
+        self,
+        requests: Sequence[tuple[Label, Request]],
+        sign: "callable[[bytes], Signature]",
+    ) -> Block:
+        """Seal the current block (Algorithm 1 lines 15–18).
+
+        Stamps ``requests`` into ``rs``, signs the reference, and resets
+        the builder so the *next* block has ``k + 1`` and the sealed
+        block as its single parent (first predecessor).
+        """
+        unsigned = Block(
+            n=self.server,
+            k=self._k,
+            preds=tuple(self._preds),
+            rs=tuple(requests),
+        )
+        sealed = Block(
+            n=unsigned.n,
+            k=unsigned.k,
+            preds=unsigned.preds,
+            rs=unsigned.rs,
+            sigma=sign(unsigned.signing_payload()),
+        )
+        self._k += 1
+        self._preds = [sealed.ref]
+        self._seen_preds = {sealed.ref}
+        return sealed

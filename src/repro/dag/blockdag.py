@@ -1,0 +1,336 @@
+"""Block validity (Definition 3.3) and the block DAG (Definition 3.4).
+
+A server considers a block *valid* when (i) its signature verifies,
+(ii) it is a genesis block or has exactly one parent, and (iii) all its
+predecessors are valid.  Because (iii) recurses over blocks the server
+may not have received yet, validation here is tri-state:
+
+* ``VALID``   — all three checks pass;
+* ``INVALID`` — permanently rejected (bad signature, parent-rule
+  violation, or a predecessor that is itself permanently invalid);
+* ``PENDING`` — some predecessor has not been received; gossip keeps
+  the block buffered and requests forwarding (Algorithm 1 lines 10–11).
+
+The :class:`BlockDag` stores full blocks keyed by reference and
+maintains the graph of Definition 3.4: a block is inserted only when
+valid and only when all predecessors are already vertices, so the
+``insert`` of Definition 2.1 applies and acyclicity is by construction
+(Lemma A.3 / Lemma A.5).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable, Iterator
+
+from repro.crypto.signatures import Signature
+from repro.dag.block import Block
+from repro.dag.digraph import Digraph
+from repro.errors import InvalidBlockError, MissingPredecessorError
+from repro.types import BlockRef, SeqNum, ServerId
+
+#: Verification callback: ``(server, payload, signature) -> bool``.
+VerifyFn = Callable[[ServerId, bytes, Signature], bool]
+
+#: Resolver callback: fetch the full content of a referenced block, or
+#: ``None`` if it has not been received.
+ResolveFn = Callable[[BlockRef], Block | None]
+
+
+class Validity(enum.Enum):
+    """Tri-state outcome of Definition 3.3 validation."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+    PENDING = "pending"
+
+
+class Validator:
+    """Memoized Definition 3.3 validity checker for one server's view.
+
+    Validation walks the predecessor closure iteratively (no recursion,
+    so arbitrarily long chains are fine) and caches *permanent* verdicts
+    — ``VALID`` and ``INVALID``.  ``PENDING`` verdicts are recomputed as
+    new blocks arrive.
+    """
+
+    def __init__(self, verify: VerifyFn, resolve: ResolveFn) -> None:
+        self._verify = verify
+        self._resolve = resolve
+        self._cache: dict[BlockRef, Validity] = {}
+
+    def validity(self, block: Block) -> Validity:
+        """Classify ``block`` per Definition 3.3.
+
+        Caching subtlety: ``ref(B)`` excludes the signature, so a block
+        and a mangled-signature copy of it share a reference.  Verdicts
+        driven by *content* (parent rule, predecessor validity) are
+        cached by reference; signature failures are **never cached** —
+        the queried copy is simply rejected, as if never received —
+        so a byzantine server cannot poison the verdict of an honest
+        block by racing a bad-signature copy of it to a validator.
+        """
+        # Signature of the queried copy, checked first and uncached.
+        if not self._signature_ok(block):
+            return Validity.INVALID
+        cached = self._cache.get(block.ref)
+        if cached is not None:
+            return cached
+
+        # Iterative post-order over the predecessor closure.  Stored
+        # predecessor copies with bad signatures are treated as missing.
+        stack: list[tuple[Block, bool]] = [(block, False)]
+        pending_somewhere = False
+        on_stack: set[BlockRef] = set()
+        while stack:
+            current, expanded = stack.pop()
+            if expanded:
+                on_stack.discard(current.ref)
+                verdict = self._content_verdict(current)
+                if verdict is Validity.VALID:
+                    # All preds were pushed before us; they are resolved
+                    # (else we'd have flagged pending) — consult cache.
+                    for pred_ref in current.preds:
+                        pred_validity = self._cache.get(pred_ref)
+                        if pred_validity is Validity.INVALID:
+                            verdict = Validity.INVALID
+                            break
+                        if pred_validity is not Validity.VALID:
+                            verdict = Validity.PENDING
+                if verdict is Validity.PENDING:
+                    pending_somewhere = True
+                else:
+                    self._cache[current.ref] = verdict
+                continue
+
+            if current.ref in self._cache:
+                continue
+            if current.ref in on_stack:
+                # A reference cycle is cryptographically infeasible
+                # (Lemma 3.2); seeing one means a broken resolver.
+                self._cache[current.ref] = Validity.INVALID
+                continue
+            on_stack.add(current.ref)
+            stack.append((current, True))
+            for pred_ref in current.preds:
+                if pred_ref in self._cache:
+                    continue
+                pred = self._resolve(pred_ref)
+                if pred is None or pred.ref != pred_ref or not self._signature_ok(pred):
+                    # Missing, content-mismatched, or badly signed copy:
+                    # wait for a genuine one.
+                    pending_somewhere = True
+                else:
+                    stack.append((pred, False))
+
+        result = self._cache.get(block.ref)
+        if result is not None:
+            return result
+        assert pending_somewhere
+        return Validity.PENDING
+
+    def is_valid(self, block: Block) -> bool:
+        """Whether ``valid(s, B)`` holds — the boolean view of Def. 3.3."""
+        return self.validity(block) is Validity.VALID
+
+    def _signature_ok(self, block: Block) -> bool:
+        """Check (i) of Definition 3.3 for this particular copy."""
+        return self._verify(block.n, block.signing_payload(), block.sigma)
+
+    def _content_verdict(self, block: Block) -> Validity:
+        """Check (ii) of Definition 3.3 — the parent rule.
+
+        Content-only (signatures handled separately); VALID here means
+        the local checks pass, with predecessor validity (check (iii))
+        the caller's concern.
+        """
+        if block.is_genesis:
+            return Validity.VALID
+        parents = 0
+        for pred_ref in block.preds:
+            pred = self._resolve(pred_ref)
+            if pred is None:
+                return Validity.PENDING
+            if pred.n == block.n and pred.k == block.k - 1:
+                parents += 1
+        if parents != 1:
+            return Validity.INVALID
+        return Validity.VALID
+
+
+class BlockDag:
+    """A server's block DAG ``G`` (Definition 3.4).
+
+    Vertices are block references; full block content is kept in an
+    internal store.  All mutation goes through :meth:`insert`, which
+    enforces the Definition 3.4 preconditions, so instances are always
+    valid block DAGs (Lemma A.5).
+    """
+
+    def __init__(self) -> None:
+        self.graph: Digraph[BlockRef] = Digraph()
+        self._store: dict[BlockRef, Block] = {}
+        self._by_server: dict[ServerId, dict[SeqNum, list[BlockRef]]] = {}
+
+    # -- queries --------------------------------------------------------------
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Block):
+            return item.ref in self._store
+        return item in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._store.values())
+
+    def get(self, ref: BlockRef) -> Block | None:
+        """Full block for ``ref``, or ``None`` if absent."""
+        return self._store.get(ref)
+
+    def require(self, ref: BlockRef) -> Block:
+        """Full block for ``ref``; raises if absent."""
+        block = self._store.get(ref)
+        if block is None:
+            raise MissingPredecessorError(f"block not in DAG: {ref[:8]}…")
+        return block
+
+    @property
+    def refs(self) -> set[BlockRef]:
+        """All block references in the DAG."""
+        return set(self._store)
+
+    def blocks(self) -> list[Block]:
+        """All blocks, in insertion order."""
+        return list(self._store.values())
+
+    def by_server(self, server: ServerId) -> list[Block]:
+        """All blocks built by ``server``, ordered by sequence number."""
+        chains = self._by_server.get(server, {})
+        result: list[Block] = []
+        for seq in sorted(chains):
+            result.extend(self._store[ref] for ref in chains[seq])
+        return result
+
+    def tip(self, server: ServerId) -> Block | None:
+        """The highest-sequence block of ``server`` (first fork branch if
+        the server equivocated)."""
+        chains = self._by_server.get(server, {})
+        if not chains:
+            return None
+        return self._store[chains[max(chains)][0]]
+
+    def forks(self) -> dict[tuple[ServerId, SeqNum], list[Block]]:
+        """Equivocations: ``(n, k)`` pairs carrying two or more distinct
+        blocks (Example 3.5 / Figure 3).  Detection, not prevention —
+        the framework tolerates forks; this supports the §6
+        accountability discussion.
+        """
+        result: dict[tuple[ServerId, SeqNum], list[Block]] = {}
+        for server, chains in self._by_server.items():
+            for seq, ref_list in chains.items():
+                if len(ref_list) > 1:
+                    result[(server, seq)] = [self._store[r] for r in ref_list]
+        return result
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, block: Block, validator: Validator | None = None) -> bool:
+        """``G.insert(B)`` per Definition 3.4.
+
+        Preconditions: ``valid(s, B)`` (checked through ``validator``
+        when given) and every predecessor already in the DAG.  Returns
+        ``False`` if the block is already present (insert is idempotent,
+        Lemma A.2); raises on precondition violations.
+        """
+        if block.ref in self._store:
+            return False
+        if validator is not None and not validator.is_valid(block):
+            raise InvalidBlockError(
+                f"refusing to insert block failing Definition 3.3: {block!r}"
+            )
+        missing = [p for p in block.preds if p not in self._store]
+        if missing:
+            raise MissingPredecessorError(
+                f"predecessors not in DAG: {[m[:8] for m in missing]} "
+                f"(Definition 3.4 (ii))"
+            )
+        # Dedupe: a byzantine builder may list a reference twice; edges
+        # are a set either way (Algorithm 2 line 9 takes unions, so
+        # duplicates carry no extra meaning).
+        self.graph.insert(block.ref, set(block.preds))
+        self._store[block.ref] = block
+        self._by_server.setdefault(block.n, {}).setdefault(block.k, []).append(
+            block.ref
+        )
+        return True
+
+    # -- relations between DAGs (⩽, ∪, joint DAG) -------------------------------
+
+    def is_prefix_of(self, other: "BlockDag") -> bool:
+        """The paper's ``G ⩽ G'`` lifted to block DAGs."""
+        if not all(ref in other._store for ref in self._store):
+            return False
+        return self.graph.is_prefix_of(other.graph)
+
+    def union(self, other: "BlockDag") -> "BlockDag":
+        """``G ∪ G'`` — the joint block DAG of two (correct) servers.
+
+        For views produced by gossip between correct servers the union
+        is itself a block DAG (Lemma A.7); this method materializes it
+        by topologically replaying both stores.
+        """
+        result = BlockDag()
+        pending: dict[BlockRef, Block] = {}
+        for dag in (self, other):
+            for block in dag:
+                pending.setdefault(block.ref, block)
+        progress = True
+        while pending and progress:
+            progress = False
+            for ref in list(pending):
+                block = pending[ref]
+                if all(p in result._store for p in block.preds):
+                    result.insert(block)
+                    del pending[ref]
+                    progress = True
+        if pending:
+            raise MissingPredecessorError(
+                f"union is not a block DAG: {len(pending)} blocks have "
+                f"unresolvable predecessors"
+            )
+        return result
+
+    def copy(self) -> "BlockDag":
+        """An independent copy (blocks are immutable and shared)."""
+        result = BlockDag()
+        result.graph = self.graph.copy()
+        result._store = dict(self._store)
+        result._by_server = {
+            server: {seq: list(refs) for seq, refs in chains.items()}
+            for server, chains in self._by_server.items()
+        }
+        return result
+
+    def predecessors(self, block: Block) -> list[Block]:
+        """Full blocks referenced by ``block.preds`` (deduplicated)."""
+        seen: set[BlockRef] = set()
+        result: list[Block] = []
+        for ref in block.preds:
+            if ref not in seen:
+                seen.add(ref)
+                result.append(self.require(ref))
+        return result
+
+    def __repr__(self) -> str:
+        return f"BlockDag(|blocks|={len(self._store)}, |edges|={self.graph.edge_count()})"
+
+
+def collect_blocks(dags: Iterable[BlockDag]) -> dict[BlockRef, Block]:
+    """All distinct blocks across several DAG views (test/analysis helper)."""
+    result: dict[BlockRef, Block] = {}
+    for dag in dags:
+        for block in dag:
+            result.setdefault(block.ref, block)
+    return result

@@ -1,0 +1,224 @@
+"""Directed graphs with the paper's restricted ``insert`` (Definition 2.1).
+
+The paper deliberately restricts graph extension: a new vertex ``v`` may
+be inserted together with edges *into* ``v`` from existing vertices
+only.  Lemma 2.2 then gives three properties for free, all of which are
+exercised directly by unit tests:
+
+1. inserting an existing vertex with existing edges is idempotent,
+2. the original graph is a ``⩽``-subgraph of the extended graph when
+   ``v`` is new, and
+3. acyclicity is preserved when ``v`` is new.
+
+``Digraph`` is generic in the vertex type; the block DAG instantiates it
+with :data:`~repro.types.BlockRef`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+from repro.errors import CycleError, DagError
+
+V = TypeVar("V", bound=Hashable)
+
+
+class Digraph(Generic[V]):
+    """A mutable directed graph ``G = (V, E)`` with Definition 2.1 insertion.
+
+    Edges are stored both forward (successors) and backward
+    (predecessors) for O(1) adjacency in either direction; the
+    interpretation layer walks predecessors, the gossip layer walks
+    successors.
+    """
+
+    def __init__(self) -> None:
+        self._succ: dict[V, set[V]] = {}
+        self._pred: dict[V, set[V]] = {}
+
+    # -- basic queries ------------------------------------------------------
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[V]:
+        return iter(self._succ)
+
+    @property
+    def vertices(self) -> set[V]:
+        """A copy of the vertex set ``V``."""
+        return set(self._succ)
+
+    @property
+    def edges(self) -> set[tuple[V, V]]:
+        """A copy of the edge set ``E``."""
+        return {(u, v) for u, targets in self._succ.items() for v in targets}
+
+    def edge_count(self) -> int:
+        """Number of edges, without materializing the edge set."""
+        return sum(len(targets) for targets in self._succ.values())
+
+    def successors(self, vertex: V) -> set[V]:
+        """Vertices ``w`` with an edge ``vertex ⇀ w``."""
+        if vertex not in self._succ:
+            raise DagError(f"vertex not in graph: {vertex!r}")
+        return set(self._succ[vertex])
+
+    def predecessors(self, vertex: V) -> set[V]:
+        """Vertices ``u`` with an edge ``u ⇀ vertex``."""
+        if vertex not in self._pred:
+            raise DagError(f"vertex not in graph: {vertex!r}")
+        return set(self._pred[vertex])
+
+    def has_edge(self, source: V, target: V) -> bool:
+        """Whether the edge ``source ⇀ target`` exists."""
+        return source in self._succ and target in self._succ[source]
+
+    # -- Definition 2.1 insertion -------------------------------------------
+
+    def insert(self, vertex: V, sources: Iterable[V]) -> None:
+        """Insert ``vertex`` with edges from each of ``sources`` to it.
+
+        Implements ``insert(G, v, E)`` with
+        ``E = {(v_i, v) | v_i ∈ V ⊆ G}`` (Definition 2.1).  All sources
+        must already be in the graph.  Re-inserting an existing vertex
+        with a subset of its existing in-edges is a no-op
+        (Lemma 2.2 (1)); re-inserting with *new* in-edges is rejected,
+        since that could create cycles (Lemma 2.2 (3) counterexample).
+        """
+        sources = list(sources)
+        for source in sources:
+            if source not in self._succ:
+                raise DagError(
+                    f"edge source {source!r} not in graph; Definition 2.1 "
+                    f"requires edges from existing vertices only"
+                )
+        if vertex in self._succ:
+            new_edges = [s for s in sources if vertex not in self._succ[s]]
+            if new_edges:
+                raise CycleError(
+                    f"re-inserting existing vertex {vertex!r} with new edges "
+                    f"{new_edges!r} could create a cycle (cf. Lemma 2.2 (3))"
+                )
+            return  # idempotent: Lemma 2.2 (1)
+        self._succ[vertex] = set()
+        self._pred[vertex] = set()
+        for source in sources:
+            self._succ[source].add(vertex)
+            self._pred[vertex].add(source)
+
+    # -- reachability (⇀+, ⇀*) ----------------------------------------------
+
+    def reachable(self, source: V, target: V) -> bool:
+        """Whether ``source ⇀* target`` (reflexive-transitive closure)."""
+        if source not in self._succ or target not in self._succ:
+            return False
+        if source == target:
+            return True
+        return self.strictly_reachable(source, target)
+
+    def strictly_reachable(self, source: V, target: V) -> bool:
+        """Whether ``source ⇀+ target`` (transitive closure, ⩾ 1 step)."""
+        if source not in self._succ or target not in self._succ:
+            return False
+        seen: set[V] = set()
+        queue: deque[V] = deque(self._succ[source])
+        while queue:
+            current = queue.popleft()
+            if current == target:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self._succ[current])
+        return False
+
+    def ancestors(self, vertex: V) -> set[V]:
+        """All ``u`` with ``u ⇀+ vertex``."""
+        return self._closure(vertex, self._pred)
+
+    def descendants(self, vertex: V) -> set[V]:
+        """All ``w`` with ``vertex ⇀+ w``."""
+        return self._closure(vertex, self._succ)
+
+    def _closure(self, vertex: V, adjacency: dict[V, set[V]]) -> set[V]:
+        if vertex not in adjacency:
+            raise DagError(f"vertex not in graph: {vertex!r}")
+        seen: set[V] = set()
+        queue: deque[V] = deque(adjacency[vertex])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(adjacency[current])
+        return seen
+
+    def is_acyclic(self) -> bool:
+        """Check acyclicity by Kahn's algorithm (used by tests; graphs built
+        through :meth:`insert` are acyclic by construction, Lemma 2.2 (3))."""
+        in_degree = {v: len(preds) for v, preds in self._pred.items()}
+        queue: deque[V] = deque(v for v, deg in in_degree.items() if deg == 0)
+        visited = 0
+        while queue:
+            current = queue.popleft()
+            visited += 1
+            for succ in self._succ[current]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    queue.append(succ)
+        return visited == len(self._succ)
+
+    # -- relations between graphs (⩽, ∪) -------------------------------------
+
+    def is_prefix_of(self, other: "Digraph[V]") -> bool:
+        """The paper's ``G1 ⩽ G2``: ``V1 ⊆ V2`` and
+        ``E1 = E2 ∩ (V1 × V1)``.
+
+        Note the second condition is stronger than ``E1 ⊆ E2``: ``G1``
+        must already contain *every* edge of ``G2`` between its own
+        vertices.
+        """
+        for vertex in self._succ:
+            if vertex not in other._succ:
+                return False
+        for vertex in self._succ:
+            mine = self._succ[vertex]
+            theirs = {w for w in other._succ[vertex] if w in self._succ}
+            if mine != theirs:
+                return False
+        return True
+
+    def union(self, other: "Digraph[V]") -> "Digraph[V]":
+        """The paper's ``G1 ∪ G2``: componentwise union of vertices/edges."""
+        result: Digraph[V] = Digraph()
+        for graph in (self, other):
+            for vertex in graph._succ:
+                if vertex not in result._succ:
+                    result._succ[vertex] = set()
+                    result._pred[vertex] = set()
+        for graph in (self, other):
+            for source, targets in graph._succ.items():
+                for target in targets:
+                    result._succ[source].add(target)
+                    result._pred[target].add(source)
+        return result
+
+    def copy(self) -> "Digraph[V]":
+        """An independent copy of this graph."""
+        result: Digraph[V] = Digraph()
+        result._succ = {v: set(s) for v, s in self._succ.items()}
+        result._pred = {v: set(p) for v, p in self._pred.items()}
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Digraph):
+            return NotImplemented
+        return self._succ == other._succ
+
+    def __repr__(self) -> str:
+        return f"Digraph(|V|={len(self._succ)}, |E|={self.edge_count()})"

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the block DAG framework.
+
+All library errors derive from :class:`ReproError` so callers can catch
+framework failures without masking programming errors (``TypeError``,
+``KeyError``...).  The hierarchy mirrors the layering of the system:
+crypto, DAG, gossip, interpretation, runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad signature, unknown key...)."""
+
+
+class UnknownKeyError(CryptoError):
+    """No key material registered for the requested server."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed verification."""
+
+
+class DagError(ReproError):
+    """Violation of a graph or block DAG invariant."""
+
+
+class CycleError(DagError):
+    """An insertion would create a cycle (cannot happen for honest use;
+    guards against direct misuse of the graph layer)."""
+
+
+class DuplicateVertexError(DagError):
+    """Attempt to insert a vertex in a way that conflicts with Def. 2.1."""
+
+
+class MissingPredecessorError(DagError):
+    """A block's predecessor is not present in the DAG (Def. 3.4 (ii))."""
+
+
+class InvalidBlockError(DagError):
+    """A block failed the validity checks of Definition 3.3."""
+
+
+class CodecError(ReproError):
+    """Canonical encoding or decoding failed."""
+
+
+class NetworkError(ReproError):
+    """Transport-level failure in the simulated network."""
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation violated the deterministic black-box contract."""
+
+
+class NondeterminismError(ProtocolError):
+    """A protocol step attempted a non-deterministic operation.
+
+    The embedding requires ``P`` to be deterministic (§2); process
+    instances are sandboxed and raise this if they try to observe
+    ambient state such as wall clocks or random number generators.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

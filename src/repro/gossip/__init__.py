@@ -1,0 +1,27 @@
+"""Building the block DAG — the paper's ``gossip`` (§3, Algorithm 1).
+
+* :mod:`repro.gossip.module` — the gossip protocol proper: receive,
+  validate, insert, build, disseminate.
+* :mod:`repro.gossip.forwarding` — FWD request bookkeeping with retry
+  timers (the Δ_B' discipline of §3).
+* :mod:`repro.gossip.policy` — dissemination cadence policies used by
+  the cluster runtime (the 'repeatedly … disseminate' of Algorithm 3).
+"""
+
+from repro.gossip.forwarding import ForwardingState
+from repro.gossip.module import Gossip, GossipConfig, GossipMetrics
+from repro.gossip.policy import (
+    DisseminationPolicy,
+    EveryInterval,
+    OnRequestBacklog,
+)
+
+__all__ = [
+    "DisseminationPolicy",
+    "EveryInterval",
+    "ForwardingState",
+    "Gossip",
+    "GossipConfig",
+    "GossipMetrics",
+    "OnRequestBacklog",
+]

@@ -1,0 +1,279 @@
+"""The gossip protocol — Algorithm 1.
+
+A server running gossip maintains four structures (§3): the block DAG
+``G`` and request buffer ``rqsts`` shared with the shim, its in-progress
+block ``B`` (a :class:`~repro.dag.block.BlockBuilder`), and the buffer
+``blks`` of received-but-not-yet-valid blocks.  The handlers here are
+the pseudocode's ``when`` clauses, one method each:
+
+* lines 4–5   → :meth:`Gossip.on_receive` (block case) buffers new blocks;
+* lines 6–9   → :meth:`Gossip._drain` validates buffered blocks, inserts
+  them into ``G`` and appends their references to ``B``;
+* lines 10–11 → :meth:`Gossip._request_missing` sends ``FWD`` requests
+  for unknown predecessors to the buffered block's builder;
+* lines 12–13 → :meth:`Gossip.on_receive` (FWD case) answers with the
+  full block;
+* lines 14–18 → :meth:`Gossip.disseminate` seals the current block,
+  inserts it, sends it to everyone and rolls over.
+
+The module never interprets anything — the strict separation the paper
+stresses ("independently, indicated by the dotted line", Figure 1) —
+but it exposes an ``on_insert`` callback so the shim can trigger
+incremental interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence  # noqa: F401 - Sequence used in signatures
+
+from repro.crypto.keys import KeyRing
+from repro.dag.block import Block, BlockBuilder
+from repro.dag.blockdag import BlockDag, Validator, Validity
+from repro.gossip.forwarding import ForwardingState
+from repro.net.message import BlockEnvelope, Envelope, FwdRequestEnvelope
+from repro.net.transport import Transport
+from repro.requests import RequestBuffer
+from repro.types import BlockRef, ServerId
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Tunables of one gossip instance."""
+
+    #: Virtual-time gap between FWD retries for the same reference (Δ_B').
+    fwd_retry_interval: float = 3.0
+    #: Max FWD attempts per reference (``None`` = unbounded).
+    fwd_max_attempts: int | None = None
+    #: Max requests stamped into one block on disseminate.
+    max_requests_per_block: int = 256
+
+
+@dataclass
+class GossipMetrics:
+    """Operational counters of one gossip instance."""
+
+    blocks_received: int = 0
+    duplicate_blocks: int = 0
+    invalid_blocks: int = 0
+    blocks_inserted: int = 0
+    blocks_disseminated: int = 0
+    fwd_requests_sent: int = 0
+    fwd_requests_answered: int = 0
+    fwd_requests_unanswerable: int = 0
+    buffered_high_water: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+
+class Gossip:
+    """One server's gossip module (Algorithm 1).
+
+    Parameters
+    ----------
+    server:
+        This server's identity (the ``s`` of ``gossip(s, G, rqsts)``).
+    keyring:
+        Key material for signing own blocks and verifying others'.
+    transport:
+        Network facade (simulator- or kvstore-backed).
+    rqsts:
+        Request buffer shared with the shim (labels + requests to stamp
+        into the next block).
+    dag:
+        The block DAG ``G`` shared with the interpreter; a fresh one is
+        created when omitted.
+    on_insert:
+        Callback fired after every successful ``G.insert(B)``.
+    """
+
+    def __init__(
+        self,
+        server: ServerId,
+        keyring: KeyRing,
+        transport: Transport,
+        rqsts: RequestBuffer,
+        dag: BlockDag | None = None,
+        config: GossipConfig | None = None,
+        on_insert: Callable[[Block], None] | None = None,
+    ) -> None:
+        self.server = server
+        self.keyring = keyring
+        self.transport = transport
+        self.rqsts = rqsts
+        self.dag = dag if dag is not None else BlockDag()
+        self.config = config if config is not None else GossipConfig()
+        self.on_insert = on_insert
+        self.builder = BlockBuilder(server)
+        self.blks: dict[BlockRef, Block] = {}
+        self.metrics = GossipMetrics()
+        self.validator = Validator(verify=keyring.verify, resolve=self._resolve)
+        self.forwarding = ForwardingState(
+            retry_interval=self.config.fwd_retry_interval,
+            max_attempts=self.config.fwd_max_attempts,
+        )
+
+    def _resolve(self, ref: BlockRef) -> Block | None:
+        """Blocks are visible to validation from ``G`` or the buffer."""
+        block = self.dag.get(ref)
+        if block is not None:
+            return block
+        return self.blks.get(ref)
+
+    # -- receiving (lines 4–5, 12–13) ------------------------------------------
+
+    def on_receive(self, src: ServerId, envelope: Envelope) -> None:
+        """Network ingress: blocks and FWD requests."""
+        if isinstance(envelope, BlockEnvelope):
+            self._on_block(envelope.block)
+        elif isinstance(envelope, FwdRequestEnvelope):
+            self._on_fwd_request(src, envelope.ref)
+        else:
+            raise TypeError(f"gossip received unknown envelope {envelope!r}")
+
+    def _on_block(self, block: Block) -> None:
+        self.metrics.blocks_received += 1
+        if block.ref in self.dag or block.ref in self.blks:
+            self.metrics.duplicate_blocks += 1
+            return
+        if not self.keyring.verify(block.n, block.signing_payload(), block.sigma):
+            # Ingress signature check: a badly signed copy is treated as
+            # never received, so it can neither occupy the buffer slot of
+            # the honest copy (they share a ref) nor waste FWD traffic.
+            self.metrics.invalid_blocks += 1
+            return
+        self.blks[block.ref] = block  # lines 4–5
+        self.forwarding.satisfied(block.ref)
+        self.metrics.buffered_high_water = max(
+            self.metrics.buffered_high_water, len(self.blks)
+        )
+        self._drain()
+        self._request_missing()
+
+    def _on_fwd_request(self, src: ServerId, ref: BlockRef) -> None:
+        # Lines 12–13: answer only from G.  (A correct server is only
+        # ever asked for predecessors of blocks it disseminated, which
+        # are in its G; anything else can be safely ignored.)
+        block = self.dag.get(ref)
+        if block is not None:
+            self.metrics.fwd_requests_answered += 1
+            self.transport.send(src, BlockEnvelope(block))
+        else:
+            self.metrics.fwd_requests_unanswerable += 1
+
+    # -- validation & insertion (lines 6–9) -------------------------------------
+
+    def _drain(self) -> None:
+        """Move every buffered block that became valid into ``G``.
+
+        A single arrival can unblock a chain of buffered descendants,
+        hence the fixpoint loop.  Permanently invalid blocks are
+        discarded."""
+        progress = True
+        while progress:
+            progress = False
+            for ref in list(self.blks):
+                block = self.blks.get(ref)
+                if block is None:
+                    continue
+                verdict = self.validator.validity(block)
+                if verdict is Validity.INVALID:
+                    del self.blks[ref]
+                    self.metrics.invalid_blocks += 1
+                    progress = True
+                elif verdict is Validity.VALID and all(
+                    p in self.dag.refs for p in block.preds
+                ):
+                    self._insert(block)  # line 7
+                    del self.blks[ref]  # line 9
+                    progress = True
+
+    def _insert(self, block: Block) -> None:
+        inserted = self.dag.insert(block)
+        if not inserted:
+            return
+        self.metrics.blocks_inserted += 1
+        if block.n != self.server:
+            # Line 8: reference every newly validated foreign block in
+            # our own next block; own blocks already chain via parent.
+            self.builder.add_pred(block.ref)
+        if self.on_insert is not None:
+            self.on_insert(block)
+
+    # -- forwarding (lines 10–11) -------------------------------------------------
+
+    def _request_missing(self) -> None:
+        """Ask builders of buffered blocks for predecessors we lack."""
+        now = self.transport.now
+        for block in list(self.blks.values()):
+            for pred_ref in block.preds:
+                if pred_ref in self.dag.refs or pred_ref in self.blks:
+                    continue
+                if self.forwarding.want(pred_ref, block.n, now):
+                    self._send_fwd(pred_ref, block.n)
+
+    def _send_fwd(self, ref: BlockRef, target: ServerId) -> None:
+        self.metrics.fwd_requests_sent += 1
+        self.transport.send(target, FwdRequestEnvelope(ref))
+        self.transport.schedule(
+            self.config.fwd_retry_interval, self._retry_forwarding
+        )
+
+    def _retry_forwarding(self) -> None:
+        """Timer callback re-issuing FWDs whose pacing interval expired."""
+        now = self.transport.now
+        for ref, target in self.forwarding.due(now):
+            if ref in self.dag.refs or ref in self.blks:
+                self.forwarding.satisfied(ref)
+                continue
+            if self.forwarding.want(ref, target, now):
+                self._send_fwd(ref, target)
+
+    # -- dissemination (lines 14–18) -----------------------------------------------
+
+    def disseminate(self) -> Block:
+        """Seal and send the current block to everyone; start the next.
+
+        Uses the transport's broadcast primitive (line 17), which the
+        KV-store substrate implements as one store write plus one
+        publication — the fan-out happens in the broker, not here.
+        Returns the sealed block (tests and adversaries use it)."""
+        block = self._seal_and_insert()
+        self.transport.broadcast(self.keyring.servers, BlockEnvelope(block))
+        return block
+
+    def disseminate_to(self, recipients: Sequence[ServerId]) -> Block:
+        """Seal, insert and send the current block to ``recipients`` only.
+
+        Correct servers always use :meth:`disseminate` (line 17 sends to
+        every server); this hook exists for withholding/equivocating
+        adversaries, which seal valid blocks but control who sees them.
+        """
+        block = self._seal_and_insert()
+        for recipient in recipients:
+            self.transport.send(recipient, BlockEnvelope(block))
+        return block
+
+    def _seal_and_insert(self) -> Block:
+        """Lines 14–16: stamp requests, sign, insert into ``G``."""
+        requests = self.rqsts.get(self.config.max_requests_per_block)
+        block = self.builder.seal(
+            requests,
+            sign=lambda payload: self.keyring.sign(self.server, payload),
+        )
+        self._insert(block)
+        self.metrics.blocks_disseminated += 1
+        return block
+
+    # -- introspection ------------------------------------------------------------
+
+    def blocks_behind(self) -> int:
+        """Height gap between our chain tip and the most advanced peer's
+        (input to :class:`~repro.gossip.policy.WhenFallingBehind`)."""
+        own_tip = self.dag.tip(self.server)
+        own_height = own_tip.k if own_tip is not None else -1
+        best = own_height
+        for server in self.keyring.servers:
+            tip = self.dag.tip(server)
+            if tip is not None:
+                best = max(best, tip.k)
+        return best - own_height

@@ -1,0 +1,92 @@
+"""Dissemination policies — when a server seals and sends its block.
+
+Algorithm 3 only demands that a correct server "repeatedly" requests
+``disseminate`` (lines 10–11), with the cadence left to the
+implementation: "the time between calls to disseminate can be adapted
+to meet the network assumptions of P and can be enforced e.g. by an
+internal timer, the block's payload, or when s falls n blocks behind"
+(§5).  These policies implement those three options; the cluster
+runtime consults whichever it is given.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class DisseminationPolicy(ABC):
+    """Decides, given local observations, whether to disseminate now."""
+
+    @abstractmethod
+    def should_disseminate(
+        self,
+        now: float,
+        last_dissemination: float,
+        backlog: int,
+        blocks_behind: int,
+    ) -> bool:
+        """``backlog`` is the number of buffered user requests;
+        ``blocks_behind`` the height gap to the most advanced peer seen."""
+
+
+class EveryInterval(DisseminationPolicy):
+    """Internal-timer policy: disseminate every ``period`` time units."""
+
+    def __init__(self, period: float = 1.0) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period
+
+    def should_disseminate(
+        self,
+        now: float,
+        last_dissemination: float,
+        backlog: int,
+        blocks_behind: int,
+    ) -> bool:
+        return now - last_dissemination >= self.period
+
+
+class OnRequestBacklog(DisseminationPolicy):
+    """Payload policy: disseminate once ``threshold`` requests queue up,
+    with ``max_quiet`` as a liveness backstop (a correct server must
+    eventually disseminate even when idle, cf. Lemma 3.6)."""
+
+    def __init__(self, threshold: int = 1, max_quiet: float = 5.0) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.max_quiet = max_quiet
+
+    def should_disseminate(
+        self,
+        now: float,
+        last_dissemination: float,
+        backlog: int,
+        blocks_behind: int,
+    ) -> bool:
+        if backlog >= self.threshold:
+            return True
+        return now - last_dissemination >= self.max_quiet
+
+
+class WhenFallingBehind(DisseminationPolicy):
+    """Catch-up policy: disseminate when ``lag`` blocks behind the most
+    advanced peer, with a quiet-time backstop."""
+
+    def __init__(self, lag: int = 2, max_quiet: float = 5.0) -> None:
+        if lag < 1:
+            raise ValueError(f"lag must be >= 1, got {lag}")
+        self.lag = lag
+        self.max_quiet = max_quiet
+
+    def should_disseminate(
+        self,
+        now: float,
+        last_dissemination: float,
+        backlog: int,
+        blocks_behind: int,
+    ) -> bool:
+        if blocks_behind >= self.lag:
+            return True
+        return now - last_dissemination >= self.max_quiet

@@ -1,0 +1,21 @@
+"""Interpreting a protocol on a block DAG (paper §4, Algorithm 2).
+
+* :mod:`repro.interpret.order` — the total message order ``<_M``.
+* :mod:`repro.interpret.buffers` — per-block message buffers
+  ``Ms[in/out, ℓ]``.
+* :mod:`repro.interpret.instance` — per-block process-instance state
+  ``PIs`` and snapshot helpers for equivalence checks (Lemma 4.2).
+* :mod:`repro.interpret.interpreter` — Algorithm 2 itself.
+"""
+
+from repro.interpret.buffers import MessageBuffers
+from repro.interpret.instance import BlockState, snapshot_instance
+from repro.interpret.interpreter import IndicationEvent, Interpreter
+
+__all__ = [
+    "BlockState",
+    "IndicationEvent",
+    "Interpreter",
+    "MessageBuffers",
+    "snapshot_instance",
+]

@@ -1,0 +1,74 @@
+"""Per-block message buffers — the paper's ``Ms[in, ℓ]`` / ``Ms[out, ℓ]``.
+
+Each interpreted block carries, per protocol instance label, the set of
+messages its builder's process *received at* this block and the set it
+*emitted at* this block (§4).  The buffers use set semantics because
+Algorithm 2 lines 9 and 11 are set unions: an identical message
+reachable through two predecessors (possible only via equivocating
+builders) is delivered once, and duplicate emissions collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.interpret.order import ordered
+from repro.protocols.base import Message
+from repro.types import Label
+
+
+class MessageBuffers:
+    """The ``Ms`` annotation of one block: in/out message sets per label."""
+
+    __slots__ = ("_in", "_out")
+
+    def __init__(self) -> None:
+        self._in: dict[Label, set[Message]] = {}
+        self._out: dict[Label, set[Message]] = {}
+
+    # -- writes (Algorithm 2 lines 6, 9, 11) -------------------------------------
+
+    def add_in(self, label: Label, messages: Iterable[Message]) -> None:
+        """``Ms[in, ℓ] ∪= messages`` (line 9)."""
+        self._in.setdefault(label, set()).update(messages)
+
+    def add_out(self, label: Label, messages: Iterable[Message]) -> None:
+        """``Ms[out, ℓ] ∪= messages`` (lines 6, 11)."""
+        self._out.setdefault(label, set()).update(messages)
+
+    # -- reads ----------------------------------------------------------------
+
+    def incoming(self, label: Label) -> list[Message]:
+        """``Ms[in, ℓ]`` ordered by ``<_M`` (line 10)."""
+        return ordered(self._in.get(label, ()))
+
+    def outgoing(self, label: Label) -> list[Message]:
+        """``Ms[out, ℓ]`` ordered by ``<_M`` (for line 9 at successor blocks)."""
+        return ordered(self._out.get(label, ()))
+
+    def outgoing_for(self, label: Label, receiver: object) -> list[Message]:
+        """``{m ∈ Ms[out, ℓ] | m.receiver = receiver}`` — the line 9 filter."""
+        return [m for m in self.outgoing(label) if m.receiver == receiver]
+
+    def labels_in(self) -> Iterator[Label]:
+        """Labels with any received message."""
+        return iter(self._in)
+
+    def labels_out(self) -> Iterator[Label]:
+        """Labels with any emitted message."""
+        return iter(self._out)
+
+    def in_count(self) -> int:
+        """Total received messages across labels (metrics)."""
+        return sum(len(v) for v in self._in.values())
+
+    def out_count(self) -> int:
+        """Total emitted messages across labels (metrics)."""
+        return sum(len(v) for v in self._out.values())
+
+    def snapshot(self) -> dict[str, dict[Label, frozenset[Message]]]:
+        """Immutable view for equivalence assertions (Lemma 4.2)."""
+        return {
+            "in": {label: frozenset(msgs) for label, msgs in self._in.items()},
+            "out": {label: frozenset(msgs) for label, msgs in self._out.items()},
+        }

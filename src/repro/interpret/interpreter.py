@@ -1,0 +1,279 @@
+"""Algorithm 2 — interpreting a deterministic protocol ``P`` on a block DAG.
+
+The interpreter walks the DAG in any eligibility-respecting order and,
+per block ``B``:
+
+1. copies the builder's process-instance map from the parent block
+   (line 4);
+2. applies every request ``(ℓ, r) ∈ B.rs`` to the builder's process for
+   ``ℓ``, unioning the triggered messages into ``B.Ms[out, ℓ]``
+   (lines 5–6);
+3. for every label with a request in ``B``'s strict causal past
+   (line 7), collects from each direct predecessor's out-buffer the
+   messages addressed to ``B.n`` (lines 8–9) and feeds them to the
+   builder's process in ``<_M`` order, unioning the responses into the
+   out-buffer (lines 10–11);
+4. marks ``B`` interpreted (line 12) and surfaces any indications the
+   process raised (lines 13–14).
+
+Everything is a pure function of the DAG: by Lemma 4.2 the interleaving
+of eligible blocks is irrelevant and any two servers annotate every
+block identically.  Tests exercise this directly by permuting
+schedules.
+
+State copying is copy-on-write at process-instance granularity: block
+states share untouched instances with their ancestors, and an instance
+is deep-copied the first time a given block steps it.  Observable
+annotations are identical to the paper's copy-everything formulation
+(any block that would mutate shared state copies first), including the
+state *split* at equivocation forks — two children of the same parent
+each copy before stepping.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.dag.block import Block
+from repro.dag.blockdag import BlockDag
+from repro.dag.traversal import eligible_frontier
+from repro.errors import SimulationError
+from repro.interpret.instance import BlockState
+from repro.interpret.order import ordered
+from repro.protocols.base import Message, ProcessInstance, ProtocolSpec, StepResult
+from repro.types import BlockRef, Indication, Label, ServerId
+
+
+@dataclass(frozen=True)
+class IndicationEvent:
+    """An indication raised during interpretation (Algorithm 2 line 14):
+    instance ``label`` indicated ``indication`` on behalf of ``server``
+    (= ``B.n``) while interpreting block ``block_ref``."""
+
+    label: Label
+    indication: Indication
+    server: ServerId
+    block_ref: BlockRef
+
+
+#: Scheduler callback: pick the next block from the eligible frontier.
+ChooseFn = Callable[[list[Block]], Block]
+
+
+class Interpreter:
+    """Executes Algorithm 2 over a (growing) block DAG.
+
+    The interpreter never mutates the DAG; it may be re-run as gossip
+    inserts blocks, resuming from its ``interpreted`` set.  It is
+    deliberately ignorant of *which* server is running it — the point
+    of Lemma 4.2 — but callers (the shim) filter indications by
+    ``event.server``.
+
+    Parameters
+    ----------
+    dag:
+        The block DAG ``G`` to interpret (shared with gossip, read-only
+        here).
+    protocol:
+        The black box ``P``.
+    servers:
+        The global server set ``Srvrs`` (process instances are simulated
+        for each of them).
+    on_indication:
+        Optional callback fired for every indication event, in order.
+    """
+
+    def __init__(
+        self,
+        dag: BlockDag,
+        protocol: ProtocolSpec,
+        servers: Sequence[ServerId],
+        on_indication: Callable[[IndicationEvent], None] | None = None,
+    ) -> None:
+        self.dag = dag
+        self.protocol = protocol
+        self.servers = tuple(servers)
+        self.on_indication = on_indication
+        self.interpreted: set[BlockRef] = set()
+        self.events: list[IndicationEvent] = []
+        self._states: dict[BlockRef, BlockState] = {}
+        self._active_labels: dict[BlockRef, frozenset[Label]] = {}
+        # Metrics backing the compression experiments (CLM-COMPRESS).
+        self.blocks_interpreted = 0
+        self.messages_delivered = 0
+        self.messages_materialized = 0
+        self.request_steps = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def is_interpreted(self, ref: BlockRef) -> bool:
+        """``I[B]`` of Algorithm 2 line 2."""
+        return ref in self.interpreted
+
+    def state_of(self, ref: BlockRef) -> BlockState:
+        """The ``PIs``/``Ms`` annotation of an interpreted block."""
+        state = self._states.get(ref)
+        if state is None:
+            raise SimulationError(f"block not interpreted yet: {ref[:8]}…")
+        return state
+
+    def eligible(self) -> list[Block]:
+        """Blocks currently satisfying ``eligible(B)`` (line 3)."""
+        return eligible_frontier(self.dag, self.interpreted)
+
+    def active_labels(self, ref: BlockRef) -> frozenset[Label]:
+        """Labels with a request in the block's strict causal past — the
+        set of line 7."""
+        labels = self._active_labels.get(ref)
+        if labels is None:
+            raise SimulationError(f"block not interpreted yet: {ref[:8]}…")
+        return labels
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, choose: ChooseFn | None = None) -> list[IndicationEvent]:
+        """Interpret until no block is eligible; returns new events.
+
+        ``choose`` picks among eligible blocks (default: canonical
+        reference order).  By Lemma 4.2 the choice cannot change any
+        annotation — property tests rely on exactly this entry point to
+        verify that.
+        """
+        start = len(self.events)
+        while True:
+            frontier = self.eligible()
+            if not frontier:
+                break
+            block = choose(frontier) if choose is not None else frontier[0]
+            self.interpret_block(block)
+        return self.events[start:]
+
+    def interpret_block(self, block: Block) -> list[IndicationEvent]:
+        """Interpret one eligible block (Algorithm 2 lines 4–14)."""
+        if block.ref in self.interpreted:
+            raise SimulationError(f"block already interpreted: {block!r}")
+        if block.ref not in self.dag.refs:
+            raise SimulationError(f"block not in DAG: {block!r}")
+        preds = self.dag.predecessors(block)
+        missing = [p for p in preds if p.ref not in self.interpreted]
+        if missing:
+            raise SimulationError(
+                f"block not eligible, uninterpreted predecessors: {missing!r}"
+            )
+
+        state = BlockState()
+        parent = self._parent_of(block, preds)
+        if parent is not None:
+            # Line 4 — share the parent's instances copy-on-write; every
+            # mutation below copies first.
+            state.pis = dict(self._states[parent.ref].pis)
+        owned: set[Label] = set()
+
+        new_events: list[IndicationEvent] = []
+
+        # Lines 5–6: requests carried by this block, in list order.
+        for request_label, request in block.rs:
+            result = self._step(
+                state, owned, block, request_label, lambda pi: pi.step_request(request)
+            )
+            self.request_steps += 1
+            state.ms.add_out(request_label, result.messages)
+            self.messages_materialized += len(result.messages)
+            new_events.extend(
+                self._emit(block, request_label, result.indications)
+            )
+
+        # Line 7: labels with a request strictly in the past.
+        active = frozenset().union(
+            *(
+                self._active_labels[p.ref] | {lbl for (lbl, _) in p.rs}
+                for p in preds
+            )
+        ) if preds else frozenset()
+
+        for message_label in sorted(active):
+            # Lines 8–9: gather messages addressed to B.n from direct
+            # predecessors' out-buffers.
+            incoming: set[Message] = set()
+            for pred in preds:
+                pred_state = self._states[pred.ref]
+                incoming.update(
+                    m
+                    for m in pred_state.ms.outgoing(message_label)
+                    if m.receiver == block.n
+                )
+            if not incoming:
+                continue
+            state.ms.add_in(message_label, incoming)
+            # Lines 10–11: feed in <_M order; union the responses.
+            for message in ordered(incoming):
+                result = self._step(
+                    state,
+                    owned,
+                    block,
+                    message_label,
+                    lambda pi: pi.step_message(message),
+                )
+                self.messages_delivered += 1
+                state.ms.add_out(message_label, result.messages)
+                self.messages_materialized += len(result.messages)
+                new_events.extend(
+                    self._emit(block, message_label, result.indications)
+                )
+
+        # Line 12.
+        self._states[block.ref] = state
+        self._active_labels[block.ref] = active
+        self.interpreted.add(block.ref)
+        self.blocks_interpreted += 1
+        return new_events
+
+    # -- internals ------------------------------------------------------------
+
+    def _parent_of(self, block: Block, preds: list[Block]) -> Block | None:
+        """The unique parent (same builder, sequence k-1) among preds."""
+        if block.is_genesis:
+            return None
+        for pred in preds:
+            if pred.n == block.n and pred.k == block.k - 1:
+                return pred
+        return None
+
+    def _step(
+        self,
+        state: BlockState,
+        owned: set[Label],
+        block: Block,
+        label: Label,
+        action: Callable[[ProcessInstance], StepResult],
+    ) -> StepResult:
+        """Apply ``action`` to the builder's process for ``label``,
+        copying shared state first (copy-on-write discipline)."""
+        instance = state.pis.get(label)
+        if instance is None:
+            instance = self.protocol.create(self.servers, block.n, label)
+            state.pis[label] = instance
+            owned.add(label)
+        elif label not in owned:
+            instance = copy.deepcopy(instance)
+            state.pis[label] = instance
+            owned.add(label)
+        return action(instance)
+
+    def _emit(
+        self,
+        block: Block,
+        label: Label,
+        indications: Iterable[Indication],
+    ) -> list[IndicationEvent]:
+        """Record indications (lines 13–14) and fire the callback."""
+        events = []
+        for indication in indications:
+            event = IndicationEvent(label, indication, block.n, block.ref)
+            self.events.append(event)
+            events.append(event)
+            if self.on_indication is not None:
+                self.on_indication(event)
+        return events

@@ -1,0 +1,31 @@
+"""The total message order ``<_M`` (paper §2, used in Algorithm 2 line 10).
+
+The paper assumes "an arbitrary, but fixed, total order on messages".
+Its only job is to make every server feed buffered messages to a
+process instance in the same sequence, so interpretation is a pure
+function of the DAG.  We realize it as lexicographic order on the
+canonical encoding of messages — total because the encoding is
+injective, fixed because the encoding is content-only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dag.codec import encoding_key
+from repro.protocols.base import Message
+
+
+def message_sort_key(message: Message) -> bytes:
+    """The ``<_M`` sort key of a message."""
+    return encoding_key(message)
+
+
+def ordered(messages: Iterable[Message]) -> list[Message]:
+    """Messages sorted by ``<_M`` (Algorithm 2 line 10)."""
+    return sorted(messages, key=message_sort_key)
+
+
+def message_less(a: Message, b: Message) -> bool:
+    """Whether ``a <_M b`` strictly."""
+    return message_sort_key(a) < message_sort_key(b)

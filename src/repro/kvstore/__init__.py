@@ -1,0 +1,26 @@
+"""Distributed key-value store substrate (paper §3, implementation note).
+
+The paper argues gossip "can be implemented using distributed and
+scalable key-value stores at each server (e.g. Apache Cassandra, AWS
+S3) … best-effort broadcast itself can be implemented using a
+publish-subscribe notification system and remote reads into distributed
+key value stores."  This package builds that alternative data path:
+
+* :mod:`repro.kvstore.store` — a sharded, content-addressed in-memory
+  KV store with per-shard statistics;
+* :mod:`repro.kvstore.pubsub` — topic-based publish/subscribe
+  notifications;
+* :mod:`repro.kvstore.blockstore` — a
+  :class:`~repro.net.transport.Transport` implementation that moves
+  blocks by writing them to the store and publishing their references,
+  with readers fetching content by hash.
+
+Experiment KV shows the same gossip logic converges over this substrate
+exactly as over the message simulator.
+"""
+
+from repro.kvstore.blockstore import KvTransport, KvNetwork
+from repro.kvstore.pubsub import PubSub
+from repro.kvstore.store import ShardedStore
+
+__all__ = ["KvNetwork", "KvTransport", "PubSub", "ShardedStore"]

@@ -1,0 +1,167 @@
+"""Gossip over key-value stores — the paper's alternative data path (§3).
+
+Instead of pushing full blocks point-to-point, each server *writes* its
+blocks (as real bytes, canonical codec) into its local content-addressed
+store and *publishes* the reference; peers react to the notification
+with a remote read, decode the block, and hand it to their unchanged
+gossip module.  FWD requests become targeted notifications answered the
+same way.
+
+The point the paper makes — and experiment KV verifies — is that the
+gossip logic is oblivious to the substrate: this module implements the
+:class:`~repro.net.transport.Transport` interface, so the exact same
+:class:`~repro.gossip.module.Gossip`/:class:`~repro.shim.Shim` objects
+run over it and converge to the same joint DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.dag import codec
+from repro.dag.block import Block
+from repro.errors import NetworkError
+from repro.kvstore.pubsub import PubSub
+from repro.kvstore.store import ShardedStore
+from repro.net.message import BlockEnvelope, Envelope, FwdRequestEnvelope
+from repro.net.simulator import NetworkSimulator
+from repro.net.transport import Transport
+from repro.types import ServerId
+
+#: Handler signature, same as the simulator's.
+Handler = Callable[[ServerId, Envelope], None]
+
+#: Topic on which block availability is announced.
+BLOCKS_TOPIC = "blocks"
+
+
+class KvNetwork:
+    """The shared fabric: one store per server, one pub/sub broker.
+
+    Delays model the two network hops of the sketch: a notification
+    (``notify_delay``, via :class:`PubSub`) and a remote read
+    (``read_delay``).
+    """
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        servers: Sequence[ServerId],
+        shards_per_store: int = 8,
+        read_delay: float = 0.5,
+        notify_delay: float = 0.5,
+    ) -> None:
+        self.sim = simulator
+        self.servers = tuple(servers)
+        self.read_delay = read_delay
+        self.stores: dict[ServerId, ShardedStore] = {
+            server: ShardedStore(shards_per_store) for server in self.servers
+        }
+        self.pubsub = PubSub(simulator, notify_delay=notify_delay)
+        self._handlers: dict[ServerId, Handler] = {}
+        self.remote_reads = 0
+        self.remote_read_bytes = 0
+
+    # -- wiring ------------------------------------------------------------------
+
+    def register(self, server: ServerId, handler: Handler) -> None:
+        """Attach a server's gossip handler; subscribes it to the block
+        announcement topic."""
+        if server in self._handlers:
+            raise NetworkError(f"server already registered: {server!r}")
+        self._handlers[server] = handler
+        self.pubsub.subscribe(
+            BLOCKS_TOPIC,
+            server,
+            lambda topic, key, s=server: self._on_announcement(s, key),
+        )
+
+    def transport(self, server: ServerId) -> "KvTransport":
+        """The transport facade for one server."""
+        return KvTransport(self, server)
+
+    # -- data path ------------------------------------------------------------------
+
+    def _store_block(self, owner: ServerId, block: Block) -> str:
+        """Write a block into ``owner``'s store; returns the pub/sub key."""
+        self.stores[owner].put(str(block.ref), codec.encode(block))
+        return f"{owner}/{block.ref}"
+
+    def _on_announcement(self, reader: ServerId, key: str) -> None:
+        """A subscriber saw an announcement: remote-read then deliver."""
+        owner_str, _, ref = key.partition("/")
+        owner = ServerId(owner_str)
+        self.sim.schedule(
+            self.read_delay,
+            lambda: self._complete_read(reader, owner, ref),
+        )
+
+    def _complete_read(self, reader: ServerId, owner: ServerId, ref: str) -> None:
+        data = self.stores[owner].get(ref)
+        if data is None:
+            # Content not (yet) present — the reader's FWD machinery
+            # will chase it; best-effort is all pub/sub promises.
+            return
+        self.remote_reads += 1
+        self.remote_read_bytes += len(data)
+        block = codec.decode(data)
+        handler = self._handlers.get(reader)
+        if handler is not None:
+            handler(owner, BlockEnvelope(block))
+
+    def _targeted(self, src: ServerId, dst: ServerId, envelope: Envelope) -> None:
+        """A direct notification (FWD requests and FWD answers)."""
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise NetworkError(f"unknown destination: {dst!r}")
+        self.sim.schedule(
+            self.pubsub.notify_delay,
+            lambda: handler(src, envelope),
+        )
+
+
+class KvTransport(Transport):
+    """Transport facade implementing block movement via store + pub/sub.
+
+    * ``broadcast(BlockEnvelope)`` → one store write + one publication
+      (fan-out happens in the broker, not the sender — the scalability
+      argument of §3);
+    * ``send(dst, BlockEnvelope)`` → store write + targeted notification
+      + remote read at the destination (FWD answers);
+    * ``send(dst, FwdRequestEnvelope)`` → targeted notification.
+    """
+
+    def __init__(self, network: KvNetwork, self_id: ServerId) -> None:
+        self._network = network
+        self._self_id = self_id
+
+    @property
+    def self_id(self) -> ServerId:
+        return self._self_id
+
+    @property
+    def now(self) -> float:
+        return self._network.sim.now
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        self._network.sim.schedule(delay, action)
+
+    def broadcast(self, servers: Sequence[ServerId], envelope: Envelope) -> None:
+        if isinstance(envelope, BlockEnvelope):
+            key = self._network._store_block(self._self_id, envelope.block)
+            self._network.pubsub.publish(BLOCKS_TOPIC, key, exclude=self._self_id)
+        else:
+            for server in servers:
+                if server != self._self_id:
+                    self.send(server, envelope)
+
+    def send(self, dst: ServerId, envelope: Envelope) -> None:
+        if isinstance(envelope, BlockEnvelope):
+            key = self._network._store_block(self._self_id, envelope.block)
+            owner, _, ref = key.partition("/")
+            self._network.sim.schedule(
+                self._network.pubsub.notify_delay,
+                lambda: self._network._complete_read(dst, ServerId(owner), ref),
+            )
+        else:
+            self._network._targeted(self._self_id, dst, envelope)

@@ -1,0 +1,108 @@
+"""A sharded, content-addressed in-memory key-value store.
+
+Stands in for the Cassandra/S3 class of systems the paper names (§3):
+keys are content hashes, values immutable blobs, and throughput scales
+by sharding — which the store models by hashing keys across shards and
+keeping per-shard counters, so experiments can *measure* the claimed
+absence of hot spots rather than assert it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ReproError
+
+
+class KvError(ReproError):
+    """Key-value store failure."""
+
+
+@dataclass
+class ShardStats:
+    """Operation counters of one shard."""
+
+    puts: int = 0
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    bytes_stored: int = 0
+
+
+@dataclass
+class _Shard:
+    data: dict[str, bytes] = field(default_factory=dict)
+    stats: ShardStats = field(default_factory=ShardStats)
+
+
+class ShardedStore:
+    """Content-addressed store with ``shards`` independent partitions.
+
+    Values are immutable once written: re-putting the same key with
+    different content raises (content addressing makes that a hash
+    collision, i.e. a bug), re-putting identical content is a no-op —
+    matching the idempotent writes the gossip layer relies on.
+    """
+
+    def __init__(self, shards: int = 8) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self._shards = [_Shard() for _ in range(shards)]
+
+    def _shard_for(self, key: str) -> _Shard:
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        index = int.from_bytes(digest[:4], "big") % len(self._shards)
+        return self._shards[index]
+
+    def put(self, key: str, value: bytes) -> bool:
+        """Write ``value`` under ``key``; returns ``False`` if the key
+        already held identical content."""
+        shard = self._shard_for(key)
+        shard.stats.puts += 1
+        existing = shard.data.get(key)
+        if existing is not None:
+            if existing != value:
+                raise KvError(f"immutable key rewritten with new content: {key}")
+            return False
+        shard.data[key] = value
+        shard.stats.bytes_stored += len(value)
+        return True
+
+    def get(self, key: str) -> bytes | None:
+        """Read ``key``, or ``None`` if absent."""
+        shard = self._shard_for(key)
+        shard.stats.gets += 1
+        value = shard.data.get(key)
+        if value is None:
+            shard.stats.misses += 1
+        else:
+            shard.stats.hits += 1
+        return value
+
+    def __contains__(self, key: object) -> bool:
+        if not isinstance(key, str):
+            return False
+        return key in self._shard_for(key).data
+
+    def __len__(self) -> int:
+        return sum(len(shard.data) for shard in self._shards)
+
+    def keys(self) -> Iterator[str]:
+        """All keys across shards."""
+        for shard in self._shards:
+            yield from shard.data
+
+    def shard_stats(self) -> list[ShardStats]:
+        """Per-shard counters (load-balance measurements)."""
+        return [shard.stats for shard in self._shards]
+
+    def load_imbalance(self) -> float:
+        """Max/mean keys per shard (1.0 = perfectly balanced)."""
+        sizes = [len(shard.data) for shard in self._shards]
+        total = sum(sizes)
+        if total == 0:
+            return 1.0
+        mean = total / len(sizes)
+        return max(sizes) / mean if mean else 1.0

@@ -1,0 +1,65 @@
+"""Latency models for the simulated network.
+
+Each model maps a (source, destination, rng) triple to a positive
+delivery delay.  Models draw only from the RNG handed to them, so a
+seeded simulation replays identically — a property the test suite uses
+to make every "eventually" in the paper's lemmas a bounded, checkable
+statement.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.types import ServerId
+
+
+class LatencyModel(ABC):
+    """Maps links to delivery delays."""
+
+    @abstractmethod
+    def sample(self, src: ServerId, dst: ServerId, rng: random.Random) -> float:
+        """A delay (> 0) for one message on the link ``src → dst``."""
+
+
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay <= 0:
+            raise ValueError(f"latency must be positive, got {delay}")
+        self.delay = delay
+
+    def sample(self, src: ServerId, dst: ServerId, rng: random.Random) -> float:
+        return self.delay
+
+
+class JitterLatency(LatencyModel):
+    """Uniform latency in ``[low, high]`` — enough to produce arbitrary
+    reordering between independent messages."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5) -> None:
+        if not 0 < low <= high:
+            raise ValueError(f"need 0 < low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, src: ServerId, dst: ServerId, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class PerLinkLatency(LatencyModel):
+    """Explicit per-link delays with a default — models geographic
+    spread (e.g. two 'datacenters' with cheap intra-DC links)."""
+
+    def __init__(
+        self,
+        links: dict[tuple[ServerId, ServerId], float],
+        default: float = 1.0,
+    ) -> None:
+        self.links = dict(links)
+        self.default = default
+
+    def sample(self, src: ServerId, dst: ServerId, rng: random.Random) -> float:
+        return self.links.get((src, dst), self.default)

@@ -1,0 +1,67 @@
+"""Per-server transport facade.
+
+Gossip modules talk to a :class:`Transport`, never to the simulator
+directly.  That keeps Algorithm 1's code shaped like the paper's
+pseudocode ("send B to every s' ∈ Srvrs") and lets the same gossip
+implementation run over the discrete-event simulator or over the
+key-value-store substrate (:mod:`repro.kvstore.blockstore`) unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.net.message import Envelope
+from repro.net.simulator import NetworkSimulator
+from repro.types import ServerId
+
+
+class Transport(ABC):
+    """What a gossip module may do to the outside world."""
+
+    @property
+    @abstractmethod
+    def self_id(self) -> ServerId:
+        """The server this transport belongs to."""
+
+    @property
+    @abstractmethod
+    def now(self) -> float:
+        """Current (virtual) time — used only for retry pacing."""
+
+    @abstractmethod
+    def send(self, dst: ServerId, envelope: Envelope) -> None:
+        """Send one envelope to ``dst``."""
+
+    @abstractmethod
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` after ``delay`` (timer facility for retries)."""
+
+    def broadcast(self, servers: Sequence[ServerId], envelope: Envelope) -> None:
+        """Send to every listed server except this one."""
+        for server in servers:
+            if server != self.self_id:
+                self.send(server, envelope)
+
+
+class SimTransport(Transport):
+    """Transport bound to one server on a :class:`NetworkSimulator`."""
+
+    def __init__(self, simulator: NetworkSimulator, self_id: ServerId) -> None:
+        self._sim = simulator
+        self._self_id = self_id
+
+    @property
+    def self_id(self) -> ServerId:
+        return self._self_id
+
+    @property
+    def now(self) -> float:
+        return self._sim.now
+
+    def send(self, dst: ServerId, envelope: Envelope) -> None:
+        self._sim.send(self._self_id, dst, envelope)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        self._sim.schedule(delay, action)

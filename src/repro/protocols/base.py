@@ -1,0 +1,222 @@
+"""The deterministic protocol black box — the paper's ``P`` (§2, §4).
+
+The embedding requires of ``P`` only that it is *deterministic*: a state
+and a sequence of inputs (requests and messages) determine the next
+state and the emitted messages.  This module pins that contract down as
+an executable interface:
+
+* A :class:`ProcessInstance` is one process of ``P`` — the thing the
+  paper writes ``P(ℓ, s_i)`` and stores in ``B.PIs[ℓ]``.  It reacts to a
+  request (:meth:`ProcessInstance.on_request`) or a message
+  (:meth:`ProcessInstance.on_message`) by mutating its own state and
+  emitting through its :class:`Context`.
+* The :class:`Context` is the *only* effectful interface available to a
+  process: ``send``, ``broadcast`` and ``indicate``.  It provides no
+  clock and no randomness, which makes non-determinism a type error
+  rather than a discipline.
+* A :class:`ProtocolSpec` bundles a process factory with a protocol
+  name; ``interpret`` instantiates one process per ``(label, server)``
+  pair at the genesis blocks (§4, "we assume a running process instance
+  ℓ for every s_i ∈ Srvrs").
+
+Messages returned by a step are exactly "the messages m_1 … m_k
+triggered" that the paper assumes are returned immediately (§4) —
+:meth:`ProcessInstance.step_request` / :meth:`step_message` package a
+call plus the outbox drain into one deterministic transition.
+
+Process instances must be deep-copyable (Algorithm 2 line 4 copies
+``B.parent.PIs`` onto ``B``), which holds automatically as long as
+implementations keep only plain data in their attributes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.types import Indication, Label, Request, ServerId, max_faults, quorum_size
+
+
+@dataclass(frozen=True, slots=True)
+class Payload:
+    """Marker base class for protocol message payloads.
+
+    Concrete payloads are frozen dataclasses, so messages are hashable,
+    canonically encodable (for the ``<_M`` order) and safely shared
+    between simulated processes.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A protocol message ``m ∈ M_P`` with ``m.sender`` and ``m.receiver`` (§2)."""
+
+    sender: ServerId
+    receiver: ServerId
+    payload: Payload
+
+
+@dataclass(frozen=True, slots=True)
+class StepResult:
+    """Outcome of one deterministic transition: emitted messages (in
+    emission order) and raised indications."""
+
+    messages: tuple[Message, ...] = ()
+    indications: tuple[Indication, ...] = ()
+
+
+class Context:
+    """Deterministic execution context of one process instance.
+
+    Deliberately *minimal*: the absence of clocks, randomness, IO and
+    inter-instance channels is what lets every server replay every other
+    server's processes bit-for-bit (Lemma 4.2).
+    """
+
+    __slots__ = ("servers", "self_id", "label", "_outbox", "_indications")
+
+    def __init__(
+        self,
+        servers: Sequence[ServerId],
+        self_id: ServerId,
+        label: Label,
+    ) -> None:
+        self.servers: tuple[ServerId, ...] = tuple(servers)
+        self.self_id = self_id
+        self.label = label
+        self._outbox: list[Message] = []
+        self._indications: list[Indication] = []
+
+    # -- derived system-model constants --------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of servers."""
+        return len(self.servers)
+
+    @property
+    def f(self) -> int:
+        """Tolerated byzantine servers (``n ⩾ 3f + 1``)."""
+        return max_faults(len(self.servers))
+
+    @property
+    def quorum(self) -> int:
+        """Byzantine quorum size ``2f + 1``."""
+        return quorum_size(len(self.servers))
+
+    # -- effects ---------------------------------------------------------------
+
+    def send(self, receiver: ServerId, payload: Payload) -> None:
+        """Emit one message to ``receiver``."""
+        self._outbox.append(Message(self.self_id, receiver, payload))
+
+    def broadcast(self, payload: Payload) -> None:
+        """Emit one message to every server, including this process
+        itself (the standard 'send to all' of BFT pseudocode)."""
+        for server in self.servers:
+            self._outbox.append(Message(self.self_id, server, payload))
+
+    def indicate(self, indication: Indication) -> None:
+        """Raise an indication ``i ∈ Inds_P`` to the user of ``P``."""
+        self._indications.append(indication)
+
+    def _drain(self) -> StepResult:
+        result = StepResult(tuple(self._outbox), tuple(self._indications))
+        self._outbox = []
+        self._indications = []
+        return result
+
+
+class ProcessInstance(ABC):
+    """One process of a deterministic protocol ``P`` — ``B.PIs[ℓ]``.
+
+    Subclasses implement :meth:`on_request` and :meth:`on_message`,
+    using ``self.ctx`` for all effects.  State lives in plain instance
+    attributes; the framework deep-copies instances along parent chains
+    (Algorithm 2 line 4), which splits state on equivocation forks
+    exactly as the paper describes (§4, byzantine discussion).
+    """
+
+    def __init__(self, ctx: Context) -> None:
+        self.ctx = ctx
+
+    # -- protocol logic (implemented by concrete protocols) --------------------
+
+    @abstractmethod
+    def on_request(self, request: Request) -> None:
+        """React to a user request ``r ∈ Rqsts_P``."""
+
+    @abstractmethod
+    def on_message(self, message: Message) -> None:
+        """React to a received message ``m`` with ``m.receiver = self``."""
+
+    # -- framework-facing deterministic transitions -----------------------------
+
+    def step_request(self, request: Request) -> StepResult:
+        """Apply a request and return the triggered messages/indications
+        (the paper's 'immediately returns messages m_1 … m_k')."""
+        self.on_request(request)
+        return self.ctx._drain()
+
+    def step_message(self, message: Message) -> StepResult:
+        """Apply a message delivery and return what it triggered."""
+        if message.receiver != self.ctx.self_id:
+            raise ValueError(
+                f"message for {message.receiver!r} delivered to process of "
+                f"{self.ctx.self_id!r}"
+            )
+        self.on_message(message)
+        return self.ctx._drain()
+
+
+#: Factory building one process instance for a ``(label, server)`` pair.
+ProcessFactory = Callable[[Context], ProcessInstance]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A protocol as the framework sees it: a name plus a process factory.
+
+    ``interpret`` calls ``spec.create(servers, self_id, label)`` once per
+    simulated server per label; everything else about ``P`` stays
+    opaque.
+    """
+
+    name: str
+    factory: ProcessFactory
+
+    def create(
+        self,
+        servers: Sequence[ServerId],
+        self_id: ServerId,
+        label: Label,
+    ) -> ProcessInstance:
+        """Instantiate the process ``P(ℓ, s_i)``."""
+        return self.factory(Context(servers, self_id, label))
+
+
+@dataclass
+class Trace:
+    """A recorded execution trace of a protocol instance set.
+
+    Used by equivalence tests (Theorem 5.1): two executions of ``P`` are
+    compared by their per-server indication sequences — the observable
+    behaviour at the user interface.
+    """
+
+    indications: dict[ServerId, list[tuple[Label, Indication]]] = field(
+        default_factory=dict
+    )
+
+    def record(self, server: ServerId, label: Label, indication: Indication) -> None:
+        """Append an indication observed at ``server`` for instance ``label``."""
+        self.indications.setdefault(server, []).append((label, indication))
+
+    def at(self, server: ServerId) -> list[tuple[Label, Indication]]:
+        """Indication sequence observed at ``server``."""
+        return list(self.indications.get(server, []))
+
+    def per_label(self, server: ServerId, label: Label) -> list[Indication]:
+        """Indications at ``server`` for one instance."""
+        return [i for (l, i) in self.indications.get(server, []) if l == label]

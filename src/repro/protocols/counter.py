@@ -1,0 +1,63 @@
+"""A trivial deterministic protocol used by unit tests.
+
+``CounterProtocol`` exposes the embedding's message plumbing with no
+thresholds or fault logic in the way: an ``Inc(x)`` request broadcasts
+``Add(x)``; every process sums what it receives and indicates the
+running total after each addition.  Tests assert on the exact message
+and indication sequences, which makes it a sharp probe of Algorithm 2's
+bookkeeping (buffer contents, ordering by ``<_M``, per-block state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.base import Context, Message, Payload, ProcessInstance, ProtocolSpec
+from repro.types import Indication, Request
+
+
+@dataclass(frozen=True, slots=True)
+class Inc(Request):
+    """Request: add ``amount`` at every server."""
+
+    amount: int
+
+
+@dataclass(frozen=True, slots=True)
+class Add(Payload):
+    """Message: ``amount`` to be added."""
+
+    amount: int
+
+
+@dataclass(frozen=True, slots=True)
+class Total(Indication):
+    """Indication: running total after an addition."""
+
+    value: int
+
+
+class CounterProtocol(ProcessInstance):
+    """Sum all received ``Add`` amounts; indicate the total each time."""
+
+    def __init__(self, ctx: Context) -> None:
+        super().__init__(ctx)
+        self.total = 0
+        self.request_count = 0
+
+    def on_request(self, request: Request) -> None:
+        if not isinstance(request, Inc):
+            raise TypeError(f"counter accepts Inc requests, got {request!r}")
+        self.request_count += 1
+        self.ctx.broadcast(Add(request.amount))
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, Add):
+            raise TypeError(f"counter received foreign payload {payload!r}")
+        self.total += payload.amount
+        self.ctx.indicate(Total(self.total))
+
+
+#: The protocol spec handed to ``shim``/``interpret``.
+counter_protocol = ProtocolSpec(name="counter", factory=CounterProtocol)

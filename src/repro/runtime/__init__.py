@@ -1,0 +1,39 @@
+"""Cluster runtimes: wiring servers, networks and protocols together.
+
+* :mod:`repro.runtime.cluster` — N shims over the simulated network,
+  round-driven dissemination, byzantine seats.
+* :mod:`repro.runtime.adversary` — byzantine behaviours (silence,
+  crashes, equivocation, garbage, withholding).
+* :mod:`repro.runtime.direct` — the baseline: the *same* protocol
+  objects running over materialized, individually-signed point-to-point
+  messages (what the paper's intro compares block DAGs against).
+* :mod:`repro.runtime.compare` — trace summaries and the equivalence
+  check used by the Theorem 5.1 experiments.
+"""
+
+from repro.runtime.adversary import (
+    Adversary,
+    CrashAdversary,
+    EquivocatorAdversary,
+    GarbageAdversary,
+    SilentAdversary,
+    WithholdingAdversary,
+)
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.runtime.compare import equivalent_traces, summarize_trace
+from repro.runtime.direct import DirectRuntime, ProtocolMessageEnvelope
+
+__all__ = [
+    "Adversary",
+    "Cluster",
+    "ClusterConfig",
+    "CrashAdversary",
+    "DirectRuntime",
+    "EquivocatorAdversary",
+    "GarbageAdversary",
+    "ProtocolMessageEnvelope",
+    "SilentAdversary",
+    "WithholdingAdversary",
+    "equivalent_traces",
+    "summarize_trace",
+]

@@ -1,0 +1,239 @@
+"""The block DAG cluster runtime.
+
+Builds ``n`` servers — correct ones running :class:`~repro.shim.Shim`,
+byzantine seats running an :class:`~repro.runtime.adversary.Adversary`
+— over one :class:`~repro.net.simulator.NetworkSimulator`, and drives
+them in *rounds*: every round each participant gets one ``disseminate``
+opportunity (Algorithm 3 lines 10–11) and the network then runs for a
+bounded stretch of virtual time.
+
+Rounds are a driving convention, not a synchrony assumption: messages
+routinely straddle round boundaries (latency jitter, partitions, FWD
+retries), and correctness never depends on the round structure — it
+only gives tests and benchmarks a deterministic way to pump the system
+and measure progress ("delivered after k rounds").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.crypto.keys import KeyRing
+from repro.crypto.signatures import SignatureScheme
+from repro.gossip.module import GossipConfig
+from repro.net.faults import FaultPlan
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.simulator import NetworkSimulator
+from repro.net.transport import SimTransport
+from repro.protocols.base import ProtocolSpec, Trace
+from repro.runtime.adversary import Adversary
+from repro.shim.shim import Shim
+from repro.types import Label, Request, ServerId, make_servers
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs of a cluster run."""
+
+    #: Virtual time allotted to each round's message exchange.
+    round_duration: float = 6.0
+    #: Per-server dissemination offset within a round (0 = simultaneous).
+    stagger: float = 0.0
+    #: Network latency model.
+    latency: LatencyModel = field(default_factory=FixedLatency)
+    #: Simulation seed (latency jitter, fault coins).
+    seed: int = 0
+    #: Gossip tunables for correct servers.
+    gossip: GossipConfig = field(default_factory=GossipConfig)
+    #: Interpret incrementally on insertion (False = off-line mode).
+    auto_interpret: bool = True
+
+
+class Cluster:
+    """N servers running ``shim(P)`` over the simulated network.
+
+    Parameters
+    ----------
+    protocol:
+        The deterministic black box ``P``.
+    servers:
+        Explicit server ids, or use ``n`` to generate ``s1..sN``.
+    adversaries:
+        Mapping of server id to adversary factory; those seats run the
+        adversary instead of a correct shim.
+    """
+
+    def __init__(
+        self,
+        protocol: ProtocolSpec,
+        n: int | None = None,
+        servers: Sequence[ServerId] | None = None,
+        scheme: SignatureScheme | None = None,
+        config: ClusterConfig | None = None,
+        faults: FaultPlan | None = None,
+        adversaries: Mapping[ServerId, Callable[..., Adversary]] | None = None,
+    ) -> None:
+        if servers is None:
+            if n is None:
+                raise ValueError("provide either n or servers")
+            servers = make_servers(n)
+        self.servers: tuple[ServerId, ...] = tuple(servers)
+        self.protocol = protocol
+        self.config = config if config is not None else ClusterConfig()
+        self.keyring = KeyRing(self.servers, scheme)
+        self.sim = NetworkSimulator(
+            latency=self.config.latency, seed=self.config.seed, faults=faults
+        )
+        self.shims: dict[ServerId, Shim] = {}
+        self.adversaries: dict[ServerId, Adversary] = {}
+        self.rounds_run = 0
+        adversaries = dict(adversaries or {})
+        for server in self.servers:
+            transport = SimTransport(self.sim, server)
+            if server in adversaries:
+                adversary = adversaries[server](
+                    server=server,
+                    keyring=self.keyring,
+                    transport=transport,
+                    protocol=protocol,
+                )
+                self.adversaries[server] = adversary
+                self.sim.register(server, adversary.on_network)
+            else:
+                shim = Shim(
+                    server,
+                    protocol,
+                    self.keyring,
+                    transport,
+                    config=self.config.gossip,
+                    auto_interpret=self.config.auto_interpret,
+                )
+                self.shims[server] = shim
+                self.sim.register(server, shim.on_network)
+
+    # -- convenience ------------------------------------------------------------
+
+    @property
+    def correct_servers(self) -> list[ServerId]:
+        """Servers running the honest shim."""
+        return [s for s in self.servers if s in self.shims]
+
+    def shim(self, server: ServerId) -> Shim:
+        """The shim of a correct server."""
+        return self.shims[server]
+
+    # -- user interface ------------------------------------------------------------
+
+    def request(self, server: ServerId, label: Label, request: Request) -> None:
+        """Submit ``request(ℓ, r)`` at ``server`` (correct servers only)."""
+        self.shims[server].request(label, request)
+
+    def request_all(self, label: Label, request: Request) -> None:
+        """Submit the same request at every correct server (used by
+        consensus protocols where everyone proposes/ticks)."""
+        for shim in self.shims.values():
+            shim.request(label, request)
+
+    # -- driving ------------------------------------------------------------------
+
+    def round(self) -> None:
+        """One dissemination round plus ``round_duration`` of network time."""
+        start = self.sim.now
+        for index, server in enumerate(self.servers):
+            offset = self.config.stagger * index
+            if server in self.shims:
+                shim = self.shims[server]
+                self.sim.schedule(offset, shim.disseminate)
+            else:
+                adversary = self.adversaries[server]
+                self.sim.schedule(offset, adversary.on_round)
+        self.sim.run(until=start + self.config.round_duration)
+        self.rounds_run += 1
+
+    def run_rounds(self, count: int) -> None:
+        """Run ``count`` rounds."""
+        for _ in range(count):
+            self.round()
+
+    def run_until(
+        self,
+        predicate: Callable[["Cluster"], bool],
+        max_rounds: int = 64,
+    ) -> int:
+        """Round until ``predicate(self)`` holds; returns rounds used.
+
+        Raises ``TimeoutError`` after ``max_rounds`` — in a correct run
+        that means a liveness bug, which is exactly what the caller
+        wants surfaced."""
+        for used in range(max_rounds):
+            if predicate(self):
+                return used
+            self.round()
+        if predicate(self):
+            return max_rounds
+        raise TimeoutError(
+            f"predicate still false after {max_rounds} rounds "
+            f"(t={self.sim.now:.1f}, events pending={self.sim.pending()})"
+        )
+
+    def settle(self, quiet_rounds: int = 2) -> None:
+        """Run extra rounds so in-flight traffic lands (e.g. after the
+        last request of a workload)."""
+        self.run_rounds(quiet_rounds)
+
+    # -- observations ------------------------------------------------------------
+
+    def dags_converged(self) -> bool:
+        """Whether all correct servers hold identical DAGs (the joint
+        block DAG of Lemma 3.7, reached)."""
+        views = [shim.dag.refs for shim in self.shims.values()]
+        return all(view == views[0] for view in views[1:])
+
+    def all_delivered(self, label: Label, minimum: int = 1) -> bool:
+        """Whether every correct server has at least ``minimum``
+        indications for ``label``."""
+        return all(
+            len(shim.indications_for(label)) >= minimum
+            for shim in self.shims.values()
+        )
+
+    def trace(self) -> Trace:
+        """The observable behaviour: per-server indication sequences."""
+        trace = Trace()
+        for server, shim in self.shims.items():
+            for label, indication in shim.indications:
+                trace.record(server, label, indication)
+        return trace
+
+    def total_blocks(self) -> int:
+        """Blocks in the (first) correct server's DAG."""
+        first = next(iter(self.shims.values()))
+        return len(first.dag)
+
+    def interpreter_metrics(self) -> dict[str, int]:
+        """Aggregated interpretation counters across correct servers."""
+        totals = {
+            "blocks_interpreted": 0,
+            "messages_delivered": 0,
+            "messages_materialized": 0,
+            "request_steps": 0,
+        }
+        for shim in self.shims.values():
+            interpreter = shim.interpreter
+            totals["blocks_interpreted"] += interpreter.blocks_interpreted
+            totals["messages_delivered"] += interpreter.messages_delivered
+            totals["messages_materialized"] += interpreter.messages_materialized
+            totals["request_steps"] += interpreter.request_steps
+        return totals
+
+
+def quick_cluster(
+    protocol: ProtocolSpec,
+    n: int = 4,
+    seed: int = 0,
+    **config_kwargs: object,
+) -> Cluster:
+    """A fault-free n-server cluster with default wiring (examples/tests)."""
+    config = ClusterConfig(seed=seed, **config_kwargs)  # type: ignore[arg-type]
+    return Cluster(protocol, n=n, config=config)

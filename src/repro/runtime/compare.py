@@ -1,0 +1,109 @@
+"""Trace comparison — the executable form of Theorem 5.1.
+
+Theorem 5.1 says ``shim(P)`` implements the same interface with the
+same properties as ``P`` over reliable point-to-point links.  The
+sharpest checkable consequence: for the protocols we embed, the
+*observable behaviour* — which indications each correct server raises
+for each instance — must match between the embedding and the direct
+runtime.
+
+Indication order across *different* instances is scheduling-dependent
+in both runtimes (and the theorem promises nothing about it), so the
+summary compares per-(server, label) indication multisets.  For
+protocols with per-instance ordering guarantees the full sequences can
+be compared instead (``ordered=True``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.dag.codec import encoding_key
+from repro.protocols.base import Trace
+from repro.types import Indication, Label, ServerId
+
+#: Canonicalized trace: per (server, label), sorted indication encodings.
+TraceSummary = dict[tuple[ServerId, Label], tuple[bytes, ...]]
+
+
+def summarize_trace(trace: Trace, ordered: bool = False) -> TraceSummary:
+    """Canonicalize a trace for comparison.
+
+    ``ordered=False`` (default) compares indication *multisets* per
+    (server, label); ``ordered=True`` preserves per-label sequence
+    order."""
+    summary: TraceSummary = {}
+    for server, events in trace.indications.items():
+        per_label: dict[Label, list[bytes]] = {}
+        for label, indication in events:
+            per_label.setdefault(label, []).append(encoding_key(indication))
+        for label, keys in per_label.items():
+            summary[(server, label)] = tuple(keys if ordered else sorted(keys))
+    return summary
+
+
+def equivalent_traces(
+    a: Trace,
+    b: Trace,
+    ordered: bool = False,
+    servers: list[ServerId] | None = None,
+) -> bool:
+    """Whether two traces are observably equivalent.
+
+    ``servers`` restricts the comparison (e.g. to the intersection of
+    correct servers when the two runs seat different adversaries)."""
+    summary_a = summarize_trace(a, ordered=ordered)
+    summary_b = summarize_trace(b, ordered=ordered)
+    if servers is not None:
+        keep = set(servers)
+        summary_a = {k: v for k, v in summary_a.items() if k[0] in keep}
+        summary_b = {k: v for k, v in summary_b.items() if k[0] in keep}
+    return summary_a == summary_b
+
+
+def trace_differences(a: Trace, b: Trace) -> list[str]:
+    """Human-readable differences between two traces (test diagnostics)."""
+    summary_a = summarize_trace(a)
+    summary_b = summarize_trace(b)
+    problems: list[str] = []
+    for key in sorted(set(summary_a) | set(summary_b)):
+        left = summary_a.get(key)
+        right = summary_b.get(key)
+        if left != right:
+            server, label = key
+            problems.append(
+                f"{server}/{label}: "
+                f"{len(left or ())} vs {len(right or ())} indications"
+                + ("" if left is None or right is None else " (contents differ)")
+            )
+    return problems
+
+
+def indication_counts(trace: Trace) -> Counter[str]:
+    """Counts of indication types across the whole trace (diagnostics)."""
+    counts: Counter[str] = Counter()
+    for events in trace.indications.values():
+        for _, indication in events:
+            counts[type(indication).__name__] += 1
+    return counts
+
+
+def agreement_on(trace: Trace, label: Label) -> set[bytes]:
+    """The distinct indication contents correct servers produced for one
+    instance — a singleton set iff all servers agree (safety checks)."""
+    seen: set[bytes] = set()
+    for events in trace.indications.values():
+        for event_label, indication in events:
+            if event_label == label:
+                seen.add(encoding_key(indication))
+    return seen
+
+
+def all_indications(trace: Trace, label: Label) -> dict[ServerId, list[Indication]]:
+    """Per-server indications for one instance (assertion helper)."""
+    result: dict[ServerId, list[Indication]] = {}
+    for server, events in trace.indications.items():
+        matching = [i for (l, i) in events if l == label]
+        if matching:
+            result[server] = matching
+    return result

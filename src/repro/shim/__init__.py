@@ -1,0 +1,12 @@
+"""The user-facing composition layer — the paper's ``shim(P)`` (§5).
+
+* :mod:`repro.requests` — the synchronized ``rqsts`` buffer (top-level
+  because gossip consumes it too; re-exported here for convenience).
+* :mod:`repro.shim.shim` — Algorithm 3: choreography between the user,
+  ``gossip`` and ``interpret``.
+"""
+
+from repro.requests import RequestBuffer
+from repro.shim.shim import Shim
+
+__all__ = ["RequestBuffer", "Shim"]

@@ -1,0 +1,152 @@
+"""``shim(P)`` — Algorithm 3, the composition the main theorem is about.
+
+The shim owns the two synchronized data structures (the request buffer
+and the block DAG), runs one gossip and one interpreter instance over
+them, and maintains ``P``'s interface toward the user:
+
+* ``request(ℓ, r)``  → buffered, stamped into the next disseminated
+  block, eventually requested from the simulated process (Lemma A.17);
+* ``indicate(ℓ, i)`` ← fired when the interpretation indicates for
+  *this* server, i.e. the event's ``B.n`` equals our identity
+  (Algorithm 3 line 8, Lemma A.18).
+
+Theorem 5.1: with ``P`` deterministic, this object implements exactly
+``P``'s interface and preserves every property of ``P`` whose proof
+rests on the reliable point-to-point link abstraction.  The integration
+test suite checks that literally, by comparing traces against
+:mod:`repro.runtime.direct`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.crypto.keys import KeyRing
+from repro.dag.block import Block
+from repro.dag.blockdag import BlockDag
+from repro.gossip.module import Gossip, GossipConfig
+from repro.interpret.interpreter import IndicationEvent, Interpreter
+from repro.net.message import Envelope
+from repro.net.transport import Transport
+from repro.protocols.base import ProtocolSpec
+from repro.requests import RequestBuffer
+from repro.types import Indication, Label, Request, ServerId
+
+#: User-facing indication callback: ``(label, indication)``.
+IndicationHandler = Callable[[Label, Indication], None]
+
+
+class Shim:
+    """One server's ``shim(P)`` instance (Algorithm 3).
+
+    Parameters
+    ----------
+    server:
+        This server's identity.
+    protocol:
+        The deterministic black box ``P``.
+    keyring:
+        Keys for the fixed server set.
+    transport:
+        Network facade for gossip.
+    on_indication:
+        Optional user callback; indications are also collected in
+        :attr:`indications`.
+    auto_interpret:
+        When ``True`` (default) the interpreter runs after every DAG
+        insertion.  ``False`` decouples building from interpretation —
+        the off-line mode of experiment CLM-OFFLINE; call
+        :meth:`interpret_now` explicitly.
+    """
+
+    def __init__(
+        self,
+        server: ServerId,
+        protocol: ProtocolSpec,
+        keyring: KeyRing,
+        transport: Transport,
+        config: GossipConfig | None = None,
+        on_indication: IndicationHandler | None = None,
+        auto_interpret: bool = True,
+    ) -> None:
+        self.server = server
+        self.protocol = protocol
+        self.keyring = keyring
+        self.auto_interpret = auto_interpret
+        self.on_indication = on_indication
+        self.rqsts = RequestBuffer()  # line 2
+        self.dag = BlockDag()  # line 3
+        self.gossip = Gossip(  # line 4
+            server,
+            keyring,
+            transport,
+            self.rqsts,
+            dag=self.dag,
+            config=config,
+            on_insert=self._on_insert,
+        )
+        self.interpreter = Interpreter(  # line 5
+            self.dag,
+            protocol,
+            keyring.servers,
+            on_indication=self._on_event,
+        )
+        #: Indications delivered to the user of ``P`` at this server.
+        self.indications: list[tuple[Label, Indication]] = []
+
+    # -- the interface of P (lines 6–9) ------------------------------------------
+
+    def request(self, label: Label, request: Request) -> None:
+        """``request(ℓ, r)`` — lines 6–7."""
+        self.rqsts.put(label, request)
+
+    def _on_event(self, event: IndicationEvent) -> None:
+        """Lines 8–9: surface only the interpretation of *ourselves*."""
+        if event.server != self.server:
+            return
+        self.indications.append((event.label, event.indication))
+        if self.on_indication is not None:
+            self.on_indication(event.label, event.indication)
+
+    # -- choreography (lines 10–11 and the dotted line of Figure 1) ----------------
+
+    def disseminate(self) -> Block:
+        """One ``gssp.disseminate()`` — invoked repeatedly by the runtime."""
+        return self.gossip.disseminate()
+
+    def on_network(self, src: ServerId, envelope: Envelope) -> None:
+        """Network ingress, routed to gossip."""
+        self.gossip.on_receive(src, envelope)
+
+    def _on_insert(self, block: Block) -> None:
+        if self.auto_interpret:
+            self.interpreter.run()
+
+    def interpret_now(self) -> list[IndicationEvent]:
+        """Run interpretation to the current DAG frontier (off-line mode)."""
+        return self.interpreter.run()
+
+    # -- introspection --------------------------------------------------------------
+
+    def indications_for(self, label: Label) -> list[Indication]:
+        """This server's indications for one protocol instance."""
+        return [i for (l, i) in self.indications if l == label]
+
+    def backlog(self) -> int:
+        """Buffered user requests not yet in a block."""
+        return self.rqsts.peek_backlog()
+
+
+def connect_shims(
+    servers: Sequence[ServerId],
+    protocol: ProtocolSpec,
+    keyring: KeyRing,
+    transports: dict[ServerId, Transport],
+    **shim_kwargs: object,
+) -> dict[ServerId, Shim]:
+    """Build one shim per server over the given transports (helper for
+    examples and tests that wire clusters manually)."""
+    return {
+        server: Shim(server, protocol, keyring, transports[server], **shim_kwargs)
+        for server in servers
+    }

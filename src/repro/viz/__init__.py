@@ -1,0 +1,12 @@
+"""Block DAG visualization — the paper's figure style, in text.
+
+* :mod:`repro.viz.dot` — Graphviz DOT output for offline rendering.
+* :mod:`repro.viz.ascii_art` — lane-per-server ASCII rendering matching
+  the look of Figures 2–4 (one horizontal lane per server, blocks in
+  sequence order, references drawn as predecessor lists).
+"""
+
+from repro.viz.ascii_art import render_lanes
+from repro.viz.dot import to_dot
+
+__all__ = ["render_lanes", "to_dot"]

@@ -1,0 +1,56 @@
+"""ASCII rendering of block DAGs — one lane per server, like Figure 2.
+
+Blocks are placed on their builder's lane at a column given by their
+longest-path depth, so causality reads left to right.  Cross-lane
+references are listed under each block (full edge routing in ASCII is
+noise at any realistic size; the paper's own figures only draw a
+handful of blocks).
+"""
+
+from __future__ import annotations
+
+from repro.dag.blockdag import BlockDag
+from repro.dag.traversal import depth_map
+from repro.types import ServerId
+
+
+def render_lanes(dag: BlockDag, cell_width: int = 14) -> str:
+    """Render ``dag`` as one text lane per server.
+
+    Each block cell shows ``k=<seq>`` plus the number of requests and
+    predecessor references; equivocating blocks are marked ``!fork``.
+    """
+    if len(dag) == 0:
+        return "(empty block DAG)"
+    depths = depth_map(dag)
+    max_depth = max(depths.values())
+    forked: set[str] = set()
+    for blocks in dag.forks().values():
+        forked.update(str(b.ref) for b in blocks)
+
+    servers: list[ServerId] = sorted({block.n for block in dag.blocks()})
+    lane_width = max(len(str(server)) for server in servers) + 2
+    lines: list[str] = []
+    header = " " * lane_width + "".join(
+        f"d={d}".ljust(cell_width) for d in range(max_depth + 1)
+    )
+    lines.append(header)
+    for server in servers:
+        cells: dict[int, list[str]] = {}
+        for block in dag.by_server(server):
+            depth = depths[block.ref]
+            tag = f"k={block.k}"
+            if block.rs:
+                tag += f" r{len(block.rs)}"
+            if len(block.preds) > 1:
+                tag += f" p{len(block.preds)}"
+            if str(block.ref) in forked:
+                tag += " !fork"
+            cells.setdefault(depth, []).append(tag)
+        row = str(server).ljust(lane_width)
+        for depth in range(max_depth + 1):
+            entries = cells.get(depth, [])
+            cell = "[" + "; ".join(entries) + "]" if entries else ""
+            row += cell.ljust(cell_width)
+        lines.append(row.rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Graphviz DOT rendering of block DAGs.
+
+Produces a left-to-right DOT graph with one horizontal rank lane per
+server — the layout of the paper's Figures 2–4.  No Graphviz dependency
+is required to *generate* the file; rendering is up to the user.
+"""
+
+from __future__ import annotations
+
+from repro.dag.blockdag import BlockDag
+from repro.types import ServerId
+
+
+def to_dot(
+    dag: BlockDag,
+    name: str = "blockdag",
+    highlight_forks: bool = True,
+) -> str:
+    """DOT source for ``dag``.
+
+    Equivocating blocks (same builder and sequence number) are drawn in
+    red when ``highlight_forks`` — the visual of Figure 3.
+    """
+    forked: set[str] = set()
+    if highlight_forks:
+        for blocks in dag.forks().values():
+            forked.update(str(b.ref) for b in blocks)
+
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=LR;",
+        "  node [shape=box, fontname=monospace];",
+    ]
+    by_server: dict[ServerId, list[str]] = {}
+    for block in dag.blocks():
+        node_id = f'"{block.ref[:8]}"'
+        by_server.setdefault(block.n, []).append(node_id)
+        label = f"{block.n} k={block.k}"
+        if block.rs:
+            label += f"\\n{len(block.rs)} req"
+        color = ', color=red, fontcolor=red' if str(block.ref) in forked else ""
+        lines.append(f"  {node_id} [label=\"{label}\"{color}];")
+    for server, nodes in sorted(by_server.items()):
+        lines.append(f"  {{ rank=same; {' '.join(nodes)} }}")
+    for source, target in sorted(dag.graph.edges):
+        lines.append(f'  "{source[:8]}" -> "{target[:8]}";')
+    lines.append("}")
+    return "\n".join(lines)

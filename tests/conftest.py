@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make tests/helpers.py importable as `helpers` from every test module.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.crypto.keys import KeyRing  # noqa: E402
+from repro.types import make_servers  # noqa: E402
+
+from helpers import ManualDagBuilder  # noqa: E402
+
+
+@pytest.fixture
+def servers4():
+    """Four server ids (n = 3f + 1 with f = 1)."""
+    return make_servers(4)
+
+
+@pytest.fixture
+def keyring4(servers4):
+    """Key ring over four servers with the fast HMAC scheme."""
+    return KeyRing(servers4)
+
+
+@pytest.fixture
+def dag_builder():
+    """A fresh 4-server manual DAG builder."""
+    return ManualDagBuilder(4)
+
+
+@pytest.fixture
+def dag_builder7():
+    """A 7-server manual DAG builder (f = 2)."""
+    return ManualDagBuilder(7)

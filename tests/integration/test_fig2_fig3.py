@@ -1,0 +1,122 @@
+"""FIG2 / FIG3 — the worked examples of §3 (Example 3.5).
+
+Figure 2: a block DAG with three blocks
+    B1 = {n: s1, k: 0, preds: []}
+    B2 = {n: s2, k: 0, preds: []}
+    B3 = {n: s1, k: 1, preds: [ref(B1), ref(B2)]}, parent(B3) = B1.
+
+Figure 3: adds B4 = {n: s1, k: 1, preds: [ref(B1), ref(B2)]} with
+different content — ˇs1 equivocates on B3/B4; all blocks remain valid
+and the successors of the fork stay split.
+"""
+
+from repro.dag.blockdag import Validity
+from repro.protocols.brb import Broadcast
+from repro.types import Label, ServerId
+
+from helpers import ManualDagBuilder
+
+S1, S2 = ServerId("s1"), ServerId("s2")
+
+
+class TestFigure2:
+    def _build(self):
+        builder = ManualDagBuilder(2, servers=[S1, S2])
+        b1 = builder.block(S1)
+        b2 = builder.block(S2)
+        b3 = builder.block(S1, refs=[b2])  # parent edge to B1 added automatically
+        return builder, b1, b2, b3
+
+    def test_structure_matches_figure(self):
+        builder, b1, b2, b3 = self._build()
+        assert b1.k == 0 and b1.preds == ()
+        assert b2.k == 0 and b2.preds == ()
+        assert b3.k == 1
+        assert set(b3.preds) == {b1.ref, b2.ref}
+
+    def test_parent_of_b3_is_b1(self):
+        builder, b1, b2, b3 = self._build()
+        # parent: same builder, sequence k-1, referenced in preds.
+        parents = [
+            p
+            for p in builder.dag.predecessors(b3)
+            if p.n == b3.n and p.k == b3.k - 1
+        ]
+        assert parents == [b1]
+
+    def test_all_blocks_valid(self):
+        builder, b1, b2, b3 = self._build()
+        for block in (b1, b2, b3):
+            assert builder.validator.validity(block) is Validity.VALID
+
+    def test_edges(self):
+        builder, b1, b2, b3 = self._build()
+        assert builder.dag.graph.has_edge(b1.ref, b3.ref)
+        assert builder.dag.graph.has_edge(b2.ref, b3.ref)
+        assert builder.dag.graph.edge_count() == 2
+
+    def test_acyclic_by_construction(self):
+        builder, *_ = self._build()
+        assert builder.dag.graph.is_acyclic()
+
+
+class TestFigure3Equivocation:
+    def _build(self):
+        builder = ManualDagBuilder(2, servers=[S1, S2])
+        b1 = builder.block(S1)
+        b2 = builder.block(S2)
+        b3 = builder.block(S1, refs=[b2])
+        # B4: same parent/preds and k as B3, different payload.
+        b4 = builder.fork(S1, rs=[(Label("l"), Broadcast(99))])
+        return builder, b1, b2, b3, b4
+
+    def test_equivocating_block_shares_k_and_preds(self):
+        builder, b1, b2, b3, b4 = self._build()
+        assert b4.n == b3.n
+        assert b4.k == b3.k
+        assert set(b4.preds) == set(b3.preds)
+        assert b4.ref != b3.ref
+
+    def test_all_blocks_still_valid(self):
+        # 'While all blocks in Figure 3 are valid, with block B4, ˇs1 is
+        # equivocating on the block B3 — and vice versa.'
+        builder, b1, b2, b3, b4 = self._build()
+        for block in (b1, b2, b3, b4):
+            assert builder.validator.validity(block) is Validity.VALID
+
+    def test_fork_detected(self):
+        builder, *_ , b3, b4 = self._build()
+        forks = builder.dag.forks()
+        assert (S1, 1) in forks
+        assert {b.ref for b in forks[(S1, 1)]} == {b3.ref, b4.ref}
+
+    def test_successors_remain_split(self):
+        # §3 on Definition 3.3 (ii): ˇs1 'will not be able to create a
+        # further block to join these two blocks' — a child claiming
+        # both B3 and B4 as predecessors has two parents ⇒ invalid.
+        builder, b1, b2, b3, b4 = self._build()
+        from repro.dag.block import Block
+
+        joining = Block(n=S1, k=2, preds=(b3.ref, b4.ref), rs=())
+        signed = Block(
+            n=joining.n,
+            k=joining.k,
+            preds=joining.preds,
+            rs=joining.rs,
+            sigma=builder.keyring.sign(S1, joining.signing_payload()),
+        )
+        assert builder.validator.validity(signed) is Validity.INVALID
+
+    def test_linear_continuation_on_one_branch_is_valid(self):
+        builder, b1, b2, b3, b4 = self._build()
+        from repro.dag.block import Block
+
+        continuing = Block(n=S1, k=2, preds=(b3.ref,), rs=())
+        signed = Block(
+            n=continuing.n,
+            k=continuing.k,
+            preds=continuing.preds,
+            rs=continuing.rs,
+            sigma=builder.keyring.sign(S1, continuing.signing_payload()),
+        )
+        assert builder.validator.validity(signed) is Validity.VALID

@@ -1,0 +1,161 @@
+"""KV experiment — gossip over the key-value-store substrate (§3 note).
+
+The same Gossip/Shim objects run over :mod:`repro.kvstore` instead of
+the message simulator and must converge to the same joint DAG and the
+same protocol outcomes.
+"""
+
+from repro.crypto.keys import KeyRing
+from repro.kvstore import KvNetwork, ShardedStore
+from repro.kvstore.pubsub import PubSub
+from repro.net.simulator import NetworkSimulator
+from repro.protocols.brb import Broadcast, Deliver, brb_protocol
+from repro.shim.shim import Shim
+from repro.types import Label, make_servers
+
+L = Label("l")
+
+
+def build_kv_cluster(n=4, protocol=brb_protocol):
+    servers = make_servers(n)
+    sim = NetworkSimulator()
+    network = KvNetwork(sim, servers)
+    ring = KeyRing(servers)
+    shims = {}
+    for server in servers:
+        shim = Shim(server, protocol, ring, network.transport(server))
+        shims[server] = shim
+        network.register(server, shim.on_network)
+    return servers, sim, network, shims
+
+
+def pump(sim, shims, rounds):
+    for _ in range(rounds):
+        for shim in shims.values():
+            shim.disseminate()
+        sim.run(until=sim.now + 6.0)
+
+
+class TestShardedStore:
+    def test_put_get_roundtrip(self):
+        store = ShardedStore(4)
+        assert store.put("k", b"v")
+        assert store.get("k") == b"v"
+        assert "k" in store
+
+    def test_idempotent_identical_put(self):
+        store = ShardedStore(4)
+        store.put("k", b"v")
+        assert not store.put("k", b"v")
+
+    def test_immutable_rewrite_rejected(self):
+        import pytest
+
+        from repro.kvstore.store import KvError
+
+        store = ShardedStore(4)
+        store.put("k", b"v")
+        with pytest.raises(KvError):
+            store.put("k", b"DIFFERENT")
+
+    def test_miss_returns_none(self):
+        store = ShardedStore(4)
+        assert store.get("missing") is None
+        assert store.shard_stats()[0].puts == 0
+
+    def test_sharding_balances_load(self):
+        store = ShardedStore(8)
+        for i in range(800):
+            store.put(f"key-{i}", b"x")
+        assert len(store) == 800
+        assert store.load_imbalance() < 1.8
+
+    def test_stats_track_operations(self):
+        store = ShardedStore(1)
+        store.put("a", b"1")
+        store.get("a")
+        store.get("b")
+        stats = store.shard_stats()[0]
+        assert stats.puts == 1
+        assert stats.gets == 2
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.bytes_stored == 1
+
+
+class TestPubSub:
+    def test_publish_notifies_subscribers(self):
+        sim = NetworkSimulator()
+        pubsub = PubSub(sim)
+        seen = []
+        pubsub.subscribe("t", make_servers(2)[0], lambda topic, key: seen.append(key))
+        pubsub.publish("t", "k1")
+        sim.run_until_idle()
+        assert seen == ["k1"]
+
+    def test_exclude_publisher(self):
+        sim = NetworkSimulator()
+        pubsub = PubSub(sim)
+        servers = make_servers(2)
+        seen = {s: [] for s in servers}
+        for server in servers:
+            pubsub.subscribe("t", server, lambda topic, key, s=server: seen[s].append(key))
+        pubsub.publish("t", "k1", exclude=servers[0])
+        sim.run_until_idle()
+        assert seen[servers[0]] == []
+        assert seen[servers[1]] == ["k1"]
+
+    def test_counters(self):
+        sim = NetworkSimulator()
+        pubsub = PubSub(sim)
+        pubsub.subscribe("t", make_servers(1)[0], lambda t, k: None)
+        pubsub.publish("t", "k")
+        assert pubsub.published == 1
+        assert pubsub.notifications == 1
+
+
+class TestKvGossipEndToEnd:
+    def test_dags_converge_over_kv(self):
+        servers, sim, network, shims = build_kv_cluster()
+        pump(sim, shims, 3)
+        views = {frozenset(shim.dag.refs) for shim in shims.values()}
+        assert len(views) == 1
+
+    def test_brb_delivers_over_kv(self):
+        servers, sim, network, shims = build_kv_cluster()
+        shims[servers[0]].request(L, Broadcast("kv-value"))
+        pump(sim, shims, 6)
+        for server in servers:
+            assert shims[server].indications_for(L) == [Deliver("kv-value")]
+
+    def test_blocks_stored_content_addressed(self):
+        servers, sim, network, shims = build_kv_cluster()
+        pump(sim, shims, 2)
+        # Every block of s1's DAG is retrievable from s1's store by ref.
+        own_store = network.stores[servers[0]]
+        for block in shims[servers[0]].dag.by_server(servers[0]):
+            assert own_store.get(str(block.ref)) is not None
+
+    def test_remote_reads_happened(self):
+        servers, sim, network, shims = build_kv_cluster()
+        pump(sim, shims, 3)
+        assert network.remote_reads > 0
+        assert network.remote_read_bytes > 0
+
+    def test_same_outcome_as_simulator_transport(self):
+        # The substrate is transparent: same workload, same indications.
+        from repro.runtime.cluster import Cluster
+
+        servers, sim, network, shims = build_kv_cluster()
+        shims[servers[0]].request(L, Broadcast("x"))
+        pump(sim, shims, 6)
+
+        cluster = Cluster(brb_protocol, servers=servers)
+        cluster.request(servers[0], L, Broadcast("x"))
+        cluster.run_until(lambda c: c.all_delivered(L))
+
+        for server in servers:
+            assert (
+                shims[server].indications_for(L)
+                == cluster.shim(server).indications_for(L)
+            )

@@ -1,0 +1,104 @@
+"""Property tests for BRB safety — random byzantine message injections.
+
+The adversary controls f processes' outgoing messages entirely (any
+ECHO/READY values in any order to any receivers).  Correct processes
+stepped directly must never violate consistency or no-duplication.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.base import Message
+from repro.protocols.brb import Broadcast, Deliver, Echo, Ready, brb_protocol
+from repro.types import Label, make_servers
+
+SERVERS = make_servers(4)
+CORRECT = SERVERS[:3]
+BYZ = SERVERS[3]
+L = Label("l")
+
+
+@st.composite
+def byzantine_scripts(draw):
+    """A list of byzantine injections: (receiver_index, kind, value)."""
+    count = draw(st.integers(min_value=0, max_value=12))
+    return [
+        (
+            draw(st.integers(0, 2)),
+            draw(st.sampled_from(["echo", "ready"])),
+            draw(st.sampled_from(["v", "w", "x"])),
+        )
+        for _ in range(count)
+    ]
+
+
+def run_scenario(script, broadcaster_value):
+    """Correct broadcaster + byzantine injections, full exchange."""
+    processes = {s: brb_protocol.create(SERVERS, s, L) for s in CORRECT}
+    in_flight = []
+    if broadcaster_value is not None:
+        result = processes[CORRECT[0]].step_request(Broadcast(broadcaster_value))
+        in_flight.extend(m for m in result.messages if m.receiver in processes)
+    for receiver_index, kind, value in script:
+        receiver = CORRECT[receiver_index]
+        payload = Echo(value) if kind == "echo" else Ready(value)
+        in_flight.append(Message(BYZ, receiver, payload))
+    delivered = {s: [] for s in CORRECT}
+    steps = 0
+    while in_flight and steps < 3000:
+        message = in_flight.pop(0)
+        if message.receiver not in processes:
+            steps += 1
+            continue
+        result = processes[message.receiver].step_message(message)
+        in_flight.extend(m for m in result.messages if m.receiver in processes)
+        delivered[message.receiver].extend(
+            i for i in result.indications if isinstance(i, Deliver)
+        )
+        steps += 1
+    assert steps < 3000
+    return delivered
+
+
+class TestBrbSafetyProperties:
+    @given(byzantine_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_consistency_with_honest_broadcast(self, script):
+        delivered = run_scenario(script, broadcaster_value="honest")
+        values = {i.value for inds in delivered.values() for i in inds}
+        assert len(values) <= 1
+
+    @given(byzantine_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_no_duplication(self, script):
+        delivered = run_scenario(script, broadcaster_value="honest")
+        for indications in delivered.values():
+            assert len(indications) <= 1
+
+    @given(byzantine_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_byzantine_alone_still_consistent(self, script):
+        """Note: in the paper's Algorithm 4 a correct process echoes the
+        *first ECHO it receives* (lines 6–8), so a single byzantine ECHO
+        can legitimately cascade into delivery of the byzantine's value
+        — BRB's integrity only protects instances whose sender is
+        correct.  What must *never* happen, even with the adversary as
+        the only message source, is two correct processes delivering
+        different values, or any process delivering twice."""
+        delivered = run_scenario(script, broadcaster_value=None)
+        values = {i.value for inds in delivered.values() for i in inds}
+        assert len(values) <= 1
+        for indications in delivered.values():
+            assert len(indications) <= 1
+
+    def test_total_silence_delivers_nothing(self):
+        delivered = run_scenario([], broadcaster_value=None)
+        assert all(not inds for inds in delivered.values())
+
+    @given(byzantine_scripts())
+    @settings(max_examples=30, deadline=None)
+    def test_validity_byzantine_cannot_suppress(self, script):
+        """With a correct broadcaster and all correct processes
+        exchanging freely, byzantine noise never prevents delivery."""
+        delivered = run_scenario(script, broadcaster_value="keep")
+        assert all(len(inds) == 1 for inds in delivered.values())

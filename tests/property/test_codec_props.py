@@ -1,0 +1,62 @@
+"""Property tests for the canonical codec — the foundation of ``ref``
+determinism and the ``<_M`` total order."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import codec
+
+# Encodable value trees (no floats by design).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+
+
+def trees(depth=3):
+    if depth == 0:
+        return scalars
+    sub = trees(depth - 1)
+    return st.one_of(
+        scalars,
+        st.lists(sub, max_size=4),
+        st.lists(sub, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), sub, max_size=4),
+    )
+
+
+class TestEncodeProperties:
+    @given(trees())
+    def test_deterministic(self, value):
+        assert codec.encode(value) == codec.encode(value)
+
+    @given(trees(), trees())
+    def test_injective_on_distinct_values(self, a, b):
+        if a != b:
+            assert codec.encode(a) != codec.encode(b)
+
+    @given(trees())
+    @settings(max_examples=200)
+    def test_roundtrip(self, value):
+        decoded = codec.decode(codec.encode(value))
+        assert decoded == value
+
+    @given(st.lists(st.integers(), max_size=6))
+    def test_key_ordering_is_total_and_stable(self, values):
+        keys = sorted(codec.encoding_key(v) for v in values)
+        assert keys == sorted(keys)
+        # Sorting values by key twice is idempotent.
+        once = sorted(values, key=codec.encoding_key)
+        assert sorted(once, key=codec.encoding_key) == once
+
+    @given(st.dictionaries(st.text(max_size=5), st.integers(), max_size=5))
+    def test_dict_encoding_is_order_independent(self, d):
+        reversed_d = dict(reversed(list(d.items())))
+        assert codec.encode(d) == codec.encode(reversed_d)
+
+    @given(st.sets(st.integers(), max_size=6))
+    def test_set_roundtrips_to_frozenset(self, s):
+        assert codec.decode(codec.encode(s)) == frozenset(s)

@@ -1,0 +1,92 @@
+"""Property tests for Digraph — Lemma 2.2 over random insertion scripts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.digraph import Digraph
+
+
+@st.composite
+def insertion_scripts(draw, max_vertices=12):
+    """A random legal Definition 2.1 insertion script: each vertex comes
+    with a subset of already-present vertices as edge sources."""
+    count = draw(st.integers(min_value=1, max_value=max_vertices))
+    script = []
+    for index in range(count):
+        if index == 0:
+            sources = []
+        else:
+            sources = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=index - 1),
+                    unique=True,
+                    max_size=index,
+                )
+            )
+        script.append((index, sources))
+    return script
+
+
+def build(script):
+    g = Digraph()
+    for vertex, sources in script:
+        g.insert(vertex, sources)
+    return g
+
+
+class TestLemma22Properties:
+    @given(insertion_scripts())
+    def test_acyclicity_invariant(self, script):
+        # Lemma 2.2 (3): any insert-built graph is acyclic.
+        assert build(script).is_acyclic()
+
+    @given(insertion_scripts())
+    def test_every_prefix_is_a_prefix(self, script):
+        # Lemma 2.2 (2): cutting the script anywhere gives G ⩽ G_full.
+        full = build(script)
+        for cut in range(len(script) + 1):
+            assert build(script[:cut]).is_prefix_of(full)
+
+    @given(insertion_scripts())
+    def test_reinsertion_is_idempotent(self, script):
+        # Lemma 2.2 (1): replaying the script onto the built graph
+        # changes nothing.
+        g = build(script)
+        edges_before = g.edges
+        for vertex, sources in script:
+            g.insert(vertex, sources)
+        assert g.edges == edges_before
+
+    @given(insertion_scripts())
+    def test_edge_count_matches_script(self, script):
+        g = build(script)
+        assert g.edge_count() == sum(len(sources) for _, sources in script)
+
+    @given(insertion_scripts(), insertion_scripts())
+    @settings(max_examples=50)
+    def test_union_commutes(self, script_a, script_b):
+        # Disjoint vertex namespaces so the union is well-defined.
+        a = Digraph()
+        for vertex, sources in script_a:
+            a.insert(("a", vertex), [("a", s) for s in sources])
+        b = Digraph()
+        for vertex, sources in script_b:
+            b.insert(("b", vertex), [("b", s) for s in sources])
+        assert a.union(b) == b.union(a)
+
+    @given(insertion_scripts())
+    def test_reachability_is_transitive(self, script):
+        g = build(script)
+        vertices = list(g.vertices)[:6]
+        for x in vertices:
+            for y in vertices:
+                for z in vertices:
+                    if g.strictly_reachable(x, y) and g.strictly_reachable(y, z):
+                        assert g.strictly_reachable(x, z)
+
+    @given(insertion_scripts())
+    def test_ancestors_vs_reachability(self, script):
+        g = build(script)
+        for vertex in list(g.vertices)[:6]:
+            for ancestor in g.ancestors(vertex):
+                assert g.strictly_reachable(ancestor, vertex)

@@ -1,0 +1,129 @@
+"""Lemma 4.2 as a property: interpretation is schedule-independent.
+
+Random DAGs (random reference structure, random request placement,
+random equivocation) interpreted under random eligible-block schedules
+must produce identical per-block annotations and identical indication
+multisets.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interpret.interpreter import Interpreter
+from repro.interpret.instance import snapshot_instance
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.protocols.counter import Inc, counter_protocol
+from repro.types import Label
+
+from helpers import ManualDagBuilder
+
+
+@st.composite
+def dag_scripts(draw):
+    """A script of DAG-building actions over 4 servers."""
+    steps = draw(st.integers(min_value=2, max_value=14))
+    actions = []
+    for _ in range(steps):
+        kind = draw(
+            st.sampled_from(["block", "block", "block", "request", "fork"])
+        )
+        server = draw(st.integers(min_value=0, max_value=3))
+        refs_mask = draw(st.integers(min_value=0, max_value=15))
+        amount = draw(st.integers(min_value=1, max_value=9))
+        actions.append((kind, server, refs_mask, amount))
+    return actions
+
+
+def build_dag(actions, protocol_kind):
+    builder = ManualDagBuilder(4)
+    label = Label("l")
+    for kind, server_index, refs_mask, amount in actions:
+        server = builder.servers[server_index]
+        refs = [
+            tip
+            for bit, s in enumerate(builder.servers)
+            if refs_mask & (1 << bit)
+            and s != server
+            and (tip := builder.dag.tip(s)) is not None
+        ]
+        if protocol_kind == "counter":
+            rs = [(label, Inc(amount))]
+        else:
+            rs = [(label, Broadcast(amount))]
+        if kind == "request":
+            builder.block(server, refs=refs, rs=rs)
+        elif kind == "fork":
+            if builder.dag.tip(server) is not None:
+                try:
+                    builder.fork(server, rs=rs)
+                except ValueError:
+                    pass
+            else:
+                builder.block(server, refs=refs)
+        else:
+            builder.block(server, refs=refs)
+    return builder
+
+
+def run_with_schedule(builder, protocol, seed):
+    interp = Interpreter(builder.dag, protocol, builder.servers)
+    rng = random.Random(seed)
+    interp.run(choose=lambda frontier: frontier[rng.randrange(len(frontier))])
+    return interp
+
+
+class TestLemma42ScheduleIndependence:
+    @given(dag_scripts(), st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_counter_annotations_identical(self, actions, seed_a, seed_b):
+        builder = build_dag(actions, "counter")
+        a = run_with_schedule(builder, counter_protocol, seed_a)
+        b = run_with_schedule(builder, counter_protocol, seed_b)
+        label = Label("l")
+        for block in builder.dag.blocks():
+            state_a = a.state_of(block.ref)
+            state_b = b.state_of(block.ref)
+            assert state_a.ms.snapshot() == state_b.ms.snapshot()
+            pi_a = state_a.pis.get(label)
+            pi_b = state_b.pis.get(label)
+            assert (pi_a is None) == (pi_b is None)
+            if pi_a is not None:
+                assert snapshot_instance(pi_a) == snapshot_instance(pi_b)
+
+    @given(dag_scripts(), st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_brb_indications_identical(self, actions, seed_a, seed_b):
+        builder = build_dag(actions, "brb")
+        a = run_with_schedule(builder, brb_protocol, seed_a)
+        b = run_with_schedule(builder, brb_protocol, seed_b)
+        events_a = sorted(
+            (e.label, repr(e.indication), e.server, e.block_ref) for e in a.events
+        )
+        events_b = sorted(
+            (e.label, repr(e.indication), e.server, e.block_ref) for e in b.events
+        )
+        assert events_a == events_b
+
+    @given(dag_scripts())
+    @settings(max_examples=25, deadline=None)
+    def test_extension_preserves_prefix_annotations(self, actions):
+        """Interpreting G then extending to G' ⩾ G gives the same
+        annotations on G's blocks as interpreting G' from scratch —
+        the 'extension' reading of Lemma 4.2."""
+        builder = build_dag(actions, "counter")
+        label = Label("l")
+        incremental = Interpreter(builder.dag, counter_protocol, builder.servers)
+        incremental.run()
+        # Extend with one more all-referencing layer.
+        builder.round_all(rs_for={builder.servers[0]: [(label, Inc(1))]})
+        incremental.run()
+
+        fresh = Interpreter(builder.dag, counter_protocol, builder.servers)
+        fresh.run()
+        for block in builder.dag.blocks():
+            assert (
+                incremental.state_of(block.ref).ms.snapshot()
+                == fresh.state_of(block.ref).ms.snapshot()
+            )

@@ -1,0 +1,145 @@
+"""Unit tests for the analysis layer — cost summaries, compression, tables."""
+
+from repro.analysis.compression import CompressionReport, compression_report
+from repro.analysis.metrics import (
+    CostSummary,
+    collect_cluster_costs,
+    collect_direct_costs,
+    ratio,
+)
+from repro.analysis.reporting import format_series, format_table, shape_check
+from repro.crypto.signatures import CountingScheme, HmacScheme
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.runtime.cluster import Cluster
+from repro.runtime.direct import DirectRuntime
+from repro.types import Label, make_servers
+
+L = Label("l")
+
+
+class TestCostSummary:
+    def test_signature_ops_total(self):
+        summary = CostSummary(runtime="x", signatures_signed=3, signatures_verified=7)
+        assert summary.signature_ops() == 10
+
+    def test_as_row_keys_stable(self):
+        row = CostSummary(runtime="x").as_row()
+        assert row["runtime"] == "x"
+        assert set(row) == {
+            "runtime",
+            "wire msgs",
+            "wire bytes",
+            "sig ops",
+            "materialized",
+            "blocks",
+            "indications",
+            "t_virt",
+        }
+
+    def test_collect_cluster_costs(self):
+        scheme = CountingScheme(HmacScheme())
+        cluster = Cluster(brb_protocol, n=4, scheme=scheme)
+        cluster.request(cluster.servers[0], L, Broadcast(1))
+        cluster.run_until(lambda c: c.all_delivered(L))
+        costs = collect_cluster_costs(cluster)
+        assert costs.wire_messages == cluster.sim.metrics.messages
+        assert costs.signatures_signed > 0
+        assert costs.indications == 4
+        assert costs.blocks == cluster.total_blocks()
+
+    def test_collect_direct_costs(self):
+        scheme = CountingScheme(HmacScheme())
+        direct = DirectRuntime(brb_protocol, servers=make_servers(4), scheme=scheme)
+        direct.request(direct.servers[0], L, Broadcast(1))
+        direct.run()
+        costs = collect_direct_costs(direct)
+        assert costs.wire_messages == direct.sim.metrics.messages
+        assert costs.protocol_messages_materialized >= costs.wire_messages
+        assert costs.indications == 4
+
+    def test_ratio(self):
+        dag = CostSummary(runtime="dag", wire_messages=10, wire_bytes=100)
+        direct = CostSummary(runtime="direct", wire_messages=40, wire_bytes=300)
+        ratios = ratio(dag, direct)
+        assert ratios["wire_messages"] == 4.0
+        assert ratios["wire_bytes"] == 3.0
+
+    def test_ratio_handles_zero_denominator(self):
+        dag = CostSummary(runtime="dag")
+        direct = CostSummary(runtime="direct", wire_messages=5)
+        assert ratio(dag, direct)["wire_messages"] == float("inf")
+
+
+class TestCompressionReport:
+    def _report(self, materialized=100, envelopes=10, bytes_=1000):
+        return CompressionReport(
+            n_servers=4,
+            n_labels=5,
+            messages_materialized=materialized,
+            messages_delivered=materialized,
+            wire_envelopes=envelopes,
+            wire_bytes=bytes_,
+            blocks=16,
+        )
+
+    def test_messages_per_envelope(self):
+        assert self._report().messages_per_envelope == 10.0
+
+    def test_omitted_fraction(self):
+        assert self._report().omitted_fraction == 0.9
+
+    def test_bytes_per_message(self):
+        assert self._report().bytes_per_message == 10.0
+
+    def test_zero_guards(self):
+        empty = self._report(materialized=0, envelopes=0)
+        assert empty.messages_per_envelope == 0.0
+        assert empty.omitted_fraction == 0.0
+        assert empty.bytes_per_message == 0.0
+
+    def test_from_cluster(self):
+        cluster = Cluster(brb_protocol, n=4)
+        cluster.request(cluster.servers[0], L, Broadcast(1))
+        cluster.run_until(lambda c: c.all_delivered(L))
+        report = compression_report(cluster, n_labels=1)
+        assert report.messages_materialized > 0
+        assert report.wire_envelopes == cluster.sim.metrics.messages
+        assert 0 <= report.omitted_fraction <= 1
+
+    def test_as_row(self):
+        row = self._report().as_row()
+        assert row["n"] == 4
+        assert row["omitted"] == "90.0%"
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "b": "xx"}, {"a": 100, "b": "y"}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_handles_missing_keys(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([], title="T")
+
+    def test_format_series_bars_scale(self):
+        text = format_series([(1, 10), (2, 20)], title="S")
+        lines = text.splitlines()
+        assert lines[0] == "S"
+        assert lines[-1].count("#") == 30  # max value gets full bar
+        assert 0 < lines[-2].count("#") < 30
+
+    def test_format_series_zero_peak(self):
+        text = format_series([(1, 0), (2, 0)])
+        assert "#" not in text
+
+    def test_shape_check(self):
+        assert shape_check("x", True).startswith("[OK ]")
+        assert shape_check("x", False).startswith("[FAIL]")

@@ -1,0 +1,145 @@
+"""Unit tests for Block (Definition 3.1), references and the builder."""
+
+import pytest
+
+from repro.crypto.keys import KeyRing
+from repro.dag.block import Block, BlockBuilder, genesis_block
+from repro.protocols.brb import Broadcast
+from repro.types import Label, ServerId, make_servers
+
+S1 = ServerId("s1")
+S2 = ServerId("s2")
+
+
+class TestBlockDefinition31:
+    def test_genesis_block(self):
+        block = genesis_block(S1)
+        assert block.k == 0
+        assert block.is_genesis
+        assert block.preds == ()
+
+    def test_negative_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            Block(n=S1, k=-1, preds=(), rs=())
+
+    def test_ref_is_content_hash(self):
+        a = genesis_block(S1)
+        b = genesis_block(S1)
+        assert a.ref == b.ref
+
+    def test_ref_depends_on_all_content_fields(self):
+        base = Block(n=S1, k=1, preds=("p",), rs=())
+        assert base.ref != Block(n=S2, k=1, preds=("p",), rs=()).ref
+        assert base.ref != Block(n=S1, k=2, preds=("p",), rs=()).ref
+        assert base.ref != Block(n=S1, k=1, preds=("q",), rs=()).ref
+        assert (
+            base.ref
+            != Block(n=S1, k=1, preds=("p",), rs=((Label("l"), Broadcast(1)),)).ref
+        )
+
+    def test_ref_ignores_signature(self):
+        # Definition 3.1: ref is computed from n, k, preds, rs — not σ —
+        # so sign(B.n, ref(B)) is well defined.
+        unsigned = Block(n=S1, k=0, preds=(), rs=())
+        signed = Block(n=S1, k=0, preds=(), rs=(), sigma=b"sig")
+        assert unsigned.ref == signed.ref
+
+    def test_equality_by_ref(self):
+        unsigned = Block(n=S1, k=0, preds=(), rs=())
+        signed = Block(n=S1, k=0, preds=(), rs=(), sigma=b"sig")
+        assert unsigned == signed
+        assert hash(unsigned) == hash(signed)
+
+    def test_preds_order_affects_ref(self):
+        # preds is a *list* in the paper; order is part of content.
+        a = Block(n=S1, k=1, preds=("p", "q"), rs=())
+        b = Block(n=S1, k=1, preds=("q", "p"), rs=())
+        assert a.ref != b.ref
+
+    def test_wire_size_grows_with_preds_and_requests(self):
+        small = genesis_block(S1)
+        more_preds = Block(n=S1, k=1, preds=("p" * 8, "q" * 8), rs=())
+        with_requests = genesis_block(S1, [(Label("l"), Broadcast(42))])
+        assert more_preds.wire_size() > small.wire_size()
+        assert with_requests.wire_size() > small.wire_size()
+
+    def test_repr_is_compact(self):
+        assert "k=0" in repr(genesis_block(S1))
+
+
+class TestLemma32NoCycles:
+    def test_mutual_reference_impossible(self):
+        # Lemma 3.2: B1 ∈ B2.preds ⇒ B2 ∉ B1.preds.  Constructively: to
+        # name B2 inside B1.preds you need ref(B2), which depends on
+        # B2.preds ∋ ref(B1), which depends on B1.preds... a fixpoint a
+        # computationally bounded adversary cannot find (preimage
+        # resistance).  We verify the refs genuinely chain.
+        b1 = Block(n=S1, k=0, preds=(), rs=())
+        b2 = Block(n=S2, k=0, preds=(b1.ref,), rs=())
+        assert b1.ref in b2.preds
+        # Building "b1 referencing b2" yields a *different* block.
+        b1_cyclic = Block(n=S1, k=0, preds=(b2.ref,), rs=())
+        assert b1_cyclic.ref != b1.ref
+        # And b2 references the original b1, not the cyclic variant.
+        assert b1_cyclic.ref not in b2.preds
+
+
+class TestBlockBuilder:
+    @pytest.fixture
+    def ring(self):
+        return KeyRing(make_servers(4))
+
+    def _sign_fn(self, ring, server):
+        return lambda payload: ring.sign(server, payload)
+
+    def test_first_block_is_genesis(self, ring):
+        builder = BlockBuilder(S1)
+        block = builder.seal([], self._sign_fn(ring, S1))
+        assert block.is_genesis
+        assert block.preds == ()
+
+    def test_chain_via_parent(self, ring):
+        builder = BlockBuilder(S1)
+        first = builder.seal([], self._sign_fn(ring, S1))
+        second = builder.seal([], self._sign_fn(ring, S1))
+        assert second.k == 1
+        assert second.preds[0] == first.ref
+
+    def test_requests_stamped_into_rs(self, ring):
+        builder = BlockBuilder(S1)
+        requests = [(Label("l1"), Broadcast(42))]
+        block = builder.seal(requests, self._sign_fn(ring, S1))
+        assert block.rs == ((Label("l1"), Broadcast(42)),)
+
+    def test_rs_cleared_after_seal(self, ring):
+        builder = BlockBuilder(S1)
+        builder.seal([(Label("l1"), Broadcast(1))], self._sign_fn(ring, S1))
+        block = builder.seal([], self._sign_fn(ring, S1))
+        assert block.rs == ()
+
+    def test_add_pred_dedupes(self, ring):
+        # Lemma A.6 (builder half): at most one reference per block.
+        builder = BlockBuilder(S1)
+        other = genesis_block(S2)
+        assert builder.add_pred(other.ref)
+        assert not builder.add_pred(other.ref)
+        block = builder.seal([], self._sign_fn(ring, S1))
+        assert block.preds.count(other.ref) == 1
+
+    def test_pred_order_preserved(self, ring):
+        builder = BlockBuilder(S1)
+        builder.add_pred("ref-b")
+        builder.add_pred("ref-a")
+        block = builder.seal([], self._sign_fn(ring, S1))
+        assert block.preds == ("ref-b", "ref-a")
+
+    def test_sealed_block_signature_verifies(self, ring):
+        builder = BlockBuilder(S1)
+        block = builder.seal([], self._sign_fn(ring, S1))
+        assert ring.verify(S1, block.signing_payload(), block.sigma)
+
+    def test_next_seq_tracks(self, ring):
+        builder = BlockBuilder(S1)
+        assert builder.next_seq == 0
+        builder.seal([], self._sign_fn(ring, S1))
+        assert builder.next_seq == 1

@@ -1,0 +1,109 @@
+"""Unit tests for trace comparison (the Theorem 5.1 tooling)."""
+
+from repro.protocols.base import Trace
+from repro.protocols.brb import Deliver
+from repro.protocols.counter import Total
+from repro.runtime.compare import (
+    agreement_on,
+    all_indications,
+    equivalent_traces,
+    indication_counts,
+    summarize_trace,
+    trace_differences,
+)
+from repro.types import Label, ServerId
+
+S1, S2 = ServerId("s1"), ServerId("s2")
+L = Label("l")
+
+
+def trace_of(*events):
+    trace = Trace()
+    for server, label, indication in events:
+        trace.record(server, label, indication)
+    return trace
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert summarize_trace(Trace()) == {}
+
+    def test_groups_by_server_and_label(self):
+        trace = trace_of(
+            (S1, L, Deliver(1)),
+            (S1, Label("m"), Deliver(2)),
+            (S2, L, Deliver(1)),
+        )
+        summary = summarize_trace(trace)
+        assert set(summary) == {(S1, L), (S1, Label("m")), (S2, L)}
+
+    def test_unordered_is_multiset(self):
+        a = trace_of((S1, L, Deliver(1)), (S1, L, Deliver(2)))
+        b = trace_of((S1, L, Deliver(2)), (S1, L, Deliver(1)))
+        assert summarize_trace(a) == summarize_trace(b)
+
+    def test_ordered_preserves_sequence(self):
+        a = trace_of((S1, L, Deliver(1)), (S1, L, Deliver(2)))
+        b = trace_of((S1, L, Deliver(2)), (S1, L, Deliver(1)))
+        assert summarize_trace(a, ordered=True) != summarize_trace(b, ordered=True)
+
+
+class TestEquivalence:
+    def test_identical_traces_equal(self):
+        a = trace_of((S1, L, Deliver("x")), (S2, L, Deliver("x")))
+        b = trace_of((S2, L, Deliver("x")), (S1, L, Deliver("x")))
+        assert equivalent_traces(a, b)
+
+    def test_different_values_unequal(self):
+        a = trace_of((S1, L, Deliver("x")))
+        b = trace_of((S1, L, Deliver("y")))
+        assert not equivalent_traces(a, b)
+
+    def test_missing_server_unequal(self):
+        a = trace_of((S1, L, Deliver("x")), (S2, L, Deliver("x")))
+        b = trace_of((S1, L, Deliver("x")))
+        assert not equivalent_traces(a, b)
+
+    def test_server_restriction(self):
+        a = trace_of((S1, L, Deliver("x")), (S2, L, Deliver("DIFFERENT")))
+        b = trace_of((S1, L, Deliver("x")))
+        assert equivalent_traces(a, b, servers=[S1])
+        assert not equivalent_traces(a, b, servers=[S1, S2])
+
+    def test_indication_type_matters(self):
+        a = trace_of((S1, L, Deliver(1)))
+        b = trace_of((S1, L, Total(1)))
+        assert not equivalent_traces(a, b)
+
+
+class TestDiagnostics:
+    def test_trace_differences_lists_keys(self):
+        a = trace_of((S1, L, Deliver("x")))
+        b = trace_of((S1, L, Deliver("y")), (S2, L, Deliver("y")))
+        problems = trace_differences(a, b)
+        assert len(problems) == 2
+        assert any("s1/l" in p for p in problems)
+        assert any("s2/l" in p for p in problems)
+
+    def test_no_differences(self):
+        a = trace_of((S1, L, Deliver("x")))
+        assert trace_differences(a, a) == []
+
+    def test_indication_counts(self):
+        trace = trace_of(
+            (S1, L, Deliver(1)), (S1, L, Total(2)), (S2, L, Deliver(3))
+        )
+        counts = indication_counts(trace)
+        assert counts["Deliver"] == 2
+        assert counts["Total"] == 1
+
+    def test_agreement_on(self):
+        agree = trace_of((S1, L, Deliver("x")), (S2, L, Deliver("x")))
+        disagree = trace_of((S1, L, Deliver("x")), (S2, L, Deliver("y")))
+        assert len(agreement_on(agree, L)) == 1
+        assert len(agreement_on(disagree, L)) == 2
+
+    def test_all_indications(self):
+        trace = trace_of((S1, L, Deliver("x")), (S1, Label("m"), Deliver("z")))
+        per_server = all_indications(trace, L)
+        assert per_server == {S1: [Deliver("x")]}

@@ -1,0 +1,168 @@
+"""Unit tests for Digraph — Definition 2.1 and Lemma 2.2, plus ⩽ and ∪."""
+
+import pytest
+
+from repro.dag.digraph import Digraph
+from repro.errors import CycleError, DagError
+
+
+def chain(*names):
+    g = Digraph()
+    previous = None
+    for name in names:
+        g.insert(name, [previous] if previous is not None else [])
+        previous = name
+    return g
+
+
+class TestInsertDefinition21:
+    def test_insert_fresh_vertex(self):
+        g = Digraph()
+        g.insert("a", [])
+        assert "a" in g
+        assert len(g) == 1
+
+    def test_insert_with_edges_from_existing(self):
+        g = chain("a", "b")
+        assert g.has_edge("a", "b")
+
+    def test_edges_must_come_from_existing_vertices(self):
+        g = Digraph()
+        with pytest.raises(DagError):
+            g.insert("b", ["missing"])
+
+    def test_lemma_2_2_1_idempotence(self):
+        # Re-inserting an existing vertex with existing edges is a no-op.
+        g = chain("a", "b")
+        edges_before = g.edges
+        g.insert("b", ["a"])
+        assert g.edges == edges_before
+        g.insert("b", [])
+        assert g.edges == edges_before
+
+    def test_lemma_2_2_2_prefix_after_insert(self):
+        # If v ∉ G then G ⩽ insert(G, v, E).
+        g = chain("a", "b")
+        snapshot = g.copy()
+        g.insert("c", ["a", "b"])
+        assert snapshot.is_prefix_of(g)
+
+    def test_lemma_2_2_3_acyclicity_preserved(self):
+        g = chain("a", "b", "c")
+        g.insert("d", ["a", "c"])
+        assert g.is_acyclic()
+
+    def test_reinsert_with_new_edges_rejected(self):
+        # The paper's counterexample: inserting an existing vertex with
+        # new incoming edges can create a cycle — we reject it outright.
+        g = chain("a", "b")
+        with pytest.raises(CycleError):
+            g.insert("a", ["b"])
+
+    def test_paper_counterexample_for_prefix(self):
+        # From §2: G with {v1, v2}, no edges; G' = insert(G, v2, {(v1,v2)})
+        # is rejected because v2 exists — the graph can only grow by new
+        # vertices, which is what makes ⩽ well-behaved.
+        g = Digraph()
+        g.insert("v1", [])
+        g.insert("v2", [])
+        with pytest.raises(CycleError):
+            g.insert("v2", ["v1"])
+
+
+class TestReachability:
+    def test_strict_reachability(self):
+        g = chain("a", "b", "c")
+        assert g.strictly_reachable("a", "c")
+        assert not g.strictly_reachable("c", "a")
+        assert not g.strictly_reachable("a", "a")
+
+    def test_reflexive_reachability(self):
+        g = chain("a", "b")
+        assert g.reachable("a", "a")
+        assert g.reachable("a", "b")
+        assert not g.reachable("b", "a")
+
+    def test_self_loop_requires_cycle(self):
+        g = chain("a", "b")
+        # a ⇀+ a would need a cycle; insert-only graphs never have one.
+        assert not g.strictly_reachable("a", "a")
+
+    def test_ancestors_descendants(self):
+        g = Digraph()
+        g.insert("a", [])
+        g.insert("b", [])
+        g.insert("c", ["a", "b"])
+        g.insert("d", ["c"])
+        assert g.ancestors("d") == {"a", "b", "c"}
+        assert g.descendants("a") == {"c", "d"}
+        assert g.ancestors("a") == set()
+
+    def test_unknown_vertex_raises(self):
+        g = Digraph()
+        with pytest.raises(DagError):
+            g.ancestors("ghost")
+        with pytest.raises(DagError):
+            g.successors("ghost")
+
+
+class TestPrefixRelation:
+    def test_prefix_requires_all_internal_edges(self):
+        # G1 ⩽ G2 needs E1 = E2 ∩ (V1 × V1), not just E1 ⊆ E2.
+        g1 = Digraph()
+        g1.insert("a", [])
+        g1.insert("b", [])  # a, b present but no edge
+        g2 = Digraph()
+        g2.insert("a", [])
+        g2.insert("b", ["a"])  # edge a ⇀ b
+        assert not g1.is_prefix_of(g2)
+
+    def test_prefix_holds_for_insert_extension(self):
+        g1 = chain("a", "b")
+        g2 = g1.copy()
+        g2.insert("c", ["b"])
+        assert g1.is_prefix_of(g2)
+        assert not g2.is_prefix_of(g1)
+
+    def test_prefix_is_reflexive(self):
+        g = chain("a", "b", "c")
+        assert g.is_prefix_of(g)
+
+
+class TestUnion:
+    def test_union_contains_both(self):
+        g1 = chain("a", "b")
+        g2 = chain("a", "c")
+        u = g1.union(g2)
+        assert u.vertices == {"a", "b", "c"}
+        assert u.has_edge("a", "b")
+        assert u.has_edge("a", "c")
+
+    def test_union_is_commutative(self):
+        g1 = chain("a", "b")
+        g2 = chain("x", "y")
+        assert g1.union(g2) == g2.union(g1)
+
+    def test_union_with_self_is_identity(self):
+        g = chain("a", "b")
+        assert g.union(g) == g
+
+
+class TestCopyAndEquality:
+    def test_copy_is_independent(self):
+        g = chain("a", "b")
+        g2 = g.copy()
+        g2.insert("c", ["b"])
+        assert "c" not in g
+        assert "c" in g2
+
+    def test_equality_by_structure(self):
+        assert chain("a", "b") == chain("a", "b")
+        assert chain("a", "b") != chain("a", "c")
+
+    def test_edge_count(self):
+        g = Digraph()
+        g.insert("a", [])
+        g.insert("b", ["a"])
+        g.insert("c", ["a", "b"])
+        assert g.edge_count() == 3

@@ -1,0 +1,88 @@
+"""Unit tests for the pure-Python Ed25519 (RFC 8032).
+
+Includes the first RFC 8032 test vector, so the implementation is
+checked against the standard, not just against itself.
+"""
+
+import hashlib
+
+from repro.crypto import ed25519
+
+
+class TestRfc8032Vectors:
+    def test_vector_1_empty_message(self):
+        # RFC 8032 §7.1, TEST 1.
+        secret = bytes.fromhex(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60"
+        )
+        expected_public = bytes.fromhex(
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+        )
+        expected_signature = bytes.fromhex(
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+        )
+        assert ed25519.secret_to_public(secret) == expected_public
+        assert ed25519.sign(secret, b"") == expected_signature
+        assert ed25519.verify(expected_public, b"", expected_signature)
+
+    def test_vector_2_one_byte_message(self):
+        # RFC 8032 §7.1, TEST 2.
+        secret = bytes.fromhex(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb"
+        )
+        public = bytes.fromhex(
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+        )
+        message = bytes.fromhex("72")
+        signature = bytes.fromhex(
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+        )
+        assert ed25519.secret_to_public(secret) == public
+        assert ed25519.sign(secret, message) == signature
+        assert ed25519.verify(public, message, signature)
+
+
+class TestSignVerify:
+    def _keypair(self, tag: bytes):
+        secret = hashlib.sha256(tag).digest()
+        return secret, ed25519.secret_to_public(secret)
+
+    def test_roundtrip(self):
+        secret, public = self._keypair(b"k1")
+        signature = ed25519.sign(secret, b"hello")
+        assert ed25519.verify(public, b"hello", signature)
+
+    def test_wrong_message_fails(self):
+        secret, public = self._keypair(b"k1")
+        signature = ed25519.sign(secret, b"hello")
+        assert not ed25519.verify(public, b"hellp", signature)
+
+    def test_wrong_key_fails(self):
+        secret, _ = self._keypair(b"k1")
+        _, other_public = self._keypair(b"k2")
+        signature = ed25519.sign(secret, b"hello")
+        assert not ed25519.verify(other_public, b"hello", signature)
+
+    def test_tampered_signature_fails(self):
+        secret, public = self._keypair(b"k1")
+        signature = bytearray(ed25519.sign(secret, b"hello"))
+        signature[0] ^= 0x01
+        assert not ed25519.verify(public, b"hello", bytes(signature))
+
+    def test_malformed_lengths_fail_closed(self):
+        secret, public = self._keypair(b"k1")
+        signature = ed25519.sign(secret, b"m")
+        assert not ed25519.verify(public[:-1], b"m", signature)
+        assert not ed25519.verify(public, b"m", signature[:-1])
+
+    def test_scalar_out_of_range_rejected(self):
+        _, public = self._keypair(b"k1")
+        # s = group order ⇒ must be rejected (malleability guard).
+        bad = b"\x00" * 32 + ed25519.Q.to_bytes(32, "little")
+        assert not ed25519.verify(public, b"m", bad)
+
+    def test_deterministic_signing(self):
+        secret, _ = self._keypair(b"k1")
+        assert ed25519.sign(secret, b"x") == ed25519.sign(secret, b"x")

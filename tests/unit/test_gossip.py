@@ -1,0 +1,228 @@
+"""Unit tests for Algorithm 1 — gossip over a real simulator, small scale."""
+
+import pytest
+
+from repro.crypto.keys import KeyRing
+from repro.crypto.signatures import Signature
+from repro.dag.block import Block
+from repro.gossip.forwarding import ForwardingState
+from repro.gossip.module import Gossip, GossipConfig
+from repro.gossip.policy import EveryInterval, OnRequestBacklog, WhenFallingBehind
+from repro.net.message import BlockEnvelope, FwdRequestEnvelope
+from repro.net.simulator import NetworkSimulator
+from repro.net.transport import SimTransport
+from repro.protocols.brb import Broadcast
+from repro.requests import RequestBuffer
+from repro.types import Label, ServerId, make_servers
+
+S1, S2, S3, S4 = (ServerId(f"s{i}") for i in range(1, 5))
+L = Label("l")
+
+
+@pytest.fixture
+def net():
+    """Four gossip instances over one simulator."""
+    servers = make_servers(4)
+    ring = KeyRing(servers)
+    sim = NetworkSimulator()
+    nodes = {}
+    for server in servers:
+        transport = SimTransport(sim, server)
+        gossip = Gossip(server, ring, transport, RequestBuffer())
+        nodes[server] = gossip
+        sim.register(server, gossip.on_receive)
+    return sim, nodes, ring
+
+
+class TestDissemination:
+    def test_disseminate_builds_and_sends(self, net):
+        sim, nodes, _ = net
+        block = nodes[S1].disseminate()
+        assert block.is_genesis
+        assert block in nodes[S1].dag
+        sim.run_until_idle()
+        for server in (S2, S3, S4):
+            assert block in nodes[server].dag
+
+    def test_requests_stamped_into_block(self, net):
+        sim, nodes, _ = net
+        nodes[S1].rqsts.put(L, Broadcast(1))
+        block = nodes[S1].disseminate()
+        assert block.rs == ((L, Broadcast(1)),)
+        assert len(nodes[S1].rqsts) == 0
+
+    def test_request_batch_limit(self, net):
+        _, nodes, _ = net
+        gossip = nodes[S1]
+        gossip.config = GossipConfig(max_requests_per_block=2)
+        for i in range(5):
+            gossip.rqsts.put(L, Broadcast(i))
+        block = gossip.disseminate()
+        assert len(block.rs) == 2
+        assert len(gossip.rqsts) == 3
+
+    def test_chain_advances(self, net):
+        sim, nodes, _ = net
+        first = nodes[S1].disseminate()
+        second = nodes[S1].disseminate()
+        assert second.k == first.k + 1
+        assert second.preds[0] == first.ref
+
+    def test_line8_foreign_blocks_referenced_once(self, net):
+        sim, nodes, _ = net
+        foreign = nodes[S2].disseminate()
+        sim.run_until_idle()
+        own = nodes[S1].disseminate()
+        assert foreign.ref in own.preds
+        next_own = nodes[S1].disseminate()
+        assert foreign.ref not in next_own.preds  # Lemma A.6
+
+    def test_disseminate_to_subset(self, net):
+        sim, nodes, _ = net
+        block = nodes[S1].disseminate_to([S2])
+        sim.run_until_idle()
+        assert block in nodes[S2].dag
+        assert block not in nodes[S3].dag
+
+
+class TestValidationPipeline:
+    def test_bad_signature_dropped_at_ingress(self, net):
+        sim, nodes, _ = net
+        bad = Block(n=S1, k=0, preds=(), rs=(), sigma=Signature(b"junk"))
+        nodes[S2].on_receive(S1, BlockEnvelope(bad))
+        assert bad.ref not in nodes[S2].dag
+        assert len(nodes[S2].blks) == 0
+        assert nodes[S2].metrics.invalid_blocks == 1
+
+    def test_duplicates_counted(self, net):
+        sim, nodes, _ = net
+        block = nodes[S1].disseminate()
+        sim.run_until_idle()
+        nodes[S2].on_receive(S1, BlockEnvelope(block))
+        assert nodes[S2].metrics.duplicate_blocks == 1
+
+    def test_out_of_order_arrival_buffers_then_inserts(self, net):
+        sim, nodes, ring = net
+        first = nodes[S1].disseminate()
+        second = nodes[S1].disseminate()
+        # Deliver child before parent, directly.
+        nodes[S2].on_receive(S1, BlockEnvelope(second))
+        assert second.ref in nodes[S2].blks
+        assert second.ref not in nodes[S2].dag
+        nodes[S2].on_receive(S1, BlockEnvelope(first))
+        assert first.ref in nodes[S2].dag
+        assert second.ref in nodes[S2].dag
+        assert len(nodes[S2].blks) == 0
+
+    def test_arrival_unblocks_chain_of_descendants(self, net):
+        _, nodes, _ = net
+        blocks = [nodes[S1].disseminate_to([]) for _ in range(5)]
+        for block in reversed(blocks[1:]):
+            nodes[S2].on_receive(S1, BlockEnvelope(block))
+        assert len(nodes[S2].dag) == 0
+        nodes[S2].on_receive(S1, BlockEnvelope(blocks[0]))
+        assert len(nodes[S2].dag) == 5
+
+
+class TestForwardingMechanism:
+    def test_fwd_requested_for_missing_pred(self, net):
+        sim, nodes, _ = net
+        hidden = nodes[S1].disseminate_to([])  # withheld from everyone
+        referencing = nodes[S1].disseminate_to([S2])
+        sim.run_until_idle()
+        # S2 received `referencing`, misses `hidden`, FWDs to S1 (the
+        # builder of the *referencing* block), which answers.
+        assert hidden.ref in nodes[S2].dag
+        assert referencing.ref in nodes[S2].dag
+        assert nodes[S2].metrics.fwd_requests_sent >= 1
+        assert nodes[S1].metrics.fwd_requests_answered >= 1
+
+    def test_unanswerable_fwd_ignored(self, net):
+        _, nodes, _ = net
+        nodes[S1].on_receive(S2, FwdRequestEnvelope(ref="0" * 64))
+        assert nodes[S1].metrics.fwd_requests_unanswerable == 1
+
+    def test_fwd_retry_paced(self):
+        state = ForwardingState(retry_interval=3.0)
+        assert state.want("r1", S1, now=0.0)
+        assert not state.want("r1", S1, now=1.0)  # too soon
+        assert state.want("r1", S1, now=3.5)  # retry due
+        assert state.requests_issued == 2
+
+    def test_fwd_retry_attempt_cap(self):
+        state = ForwardingState(retry_interval=1.0, max_attempts=2)
+        assert state.want("r1", S1, now=0.0)
+        assert state.want("r1", S1, now=1.0)
+        assert not state.want("r1", S1, now=2.0)
+
+    def test_fwd_satisfied_clears(self):
+        state = ForwardingState()
+        state.want("r1", S1, now=0.0)
+        state.satisfied("r1")
+        assert "r1" not in state
+        assert state.outstanding() == set()
+
+    def test_due_lists_expired(self):
+        state = ForwardingState(retry_interval=2.0)
+        state.want("r1", S1, now=0.0)
+        state.want("r2", S2, now=1.0)
+        due = dict(state.due(now=2.5))
+        assert due == {"r1": S1}
+
+
+class TestBlocksBehind:
+    def test_counts_height_gap(self, net):
+        sim, nodes, _ = net
+        for _ in range(3):
+            nodes[S1].disseminate()
+        sim.run_until_idle()
+        assert nodes[S2].blocks_behind() == 3
+        nodes[S2].disseminate()
+        assert nodes[S2].blocks_behind() == 2
+
+
+class TestPolicies:
+    def test_every_interval(self):
+        policy = EveryInterval(period=2.0)
+        assert policy.should_disseminate(2.0, 0.0, 0, 0)
+        assert not policy.should_disseminate(1.0, 0.0, 0, 0)
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            EveryInterval(0)
+
+    def test_backlog_policy(self):
+        policy = OnRequestBacklog(threshold=3, max_quiet=10.0)
+        assert policy.should_disseminate(1.0, 0.0, 3, 0)
+        assert not policy.should_disseminate(1.0, 0.0, 2, 0)
+        assert policy.should_disseminate(11.0, 0.0, 0, 0)  # liveness backstop
+
+    def test_falling_behind_policy(self):
+        policy = WhenFallingBehind(lag=2, max_quiet=10.0)
+        assert policy.should_disseminate(1.0, 0.0, 0, 2)
+        assert not policy.should_disseminate(1.0, 0.0, 0, 1)
+        assert policy.should_disseminate(11.0, 0.0, 0, 0)
+
+
+class TestRequestBuffer:
+    def test_fifo(self):
+        buffer = RequestBuffer()
+        buffer.put(L, Broadcast(1))
+        buffer.put(L, Broadcast(2))
+        assert buffer.get() == [(L, Broadcast(1)), (L, Broadcast(2))]
+        assert len(buffer) == 0
+
+    def test_get_with_limit(self):
+        buffer = RequestBuffer()
+        for i in range(5):
+            buffer.put(L, Broadcast(i))
+        assert len(buffer.get(2)) == 2
+        assert len(buffer) == 3
+
+    def test_counters(self):
+        buffer = RequestBuffer()
+        buffer.put(L, Broadcast(1))
+        buffer.get()
+        assert buffer.total_put == 1
+        assert buffer.total_taken == 1
+        assert buffer.peek_backlog() == 0

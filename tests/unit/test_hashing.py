@@ -1,0 +1,48 @@
+"""Unit tests for repro.crypto.hashing — domain separation, injectivity."""
+
+from repro.crypto.hashing import DIGEST_SIZE, hash_bytes, hash_fields, short
+
+
+class TestHashBytes:
+    def test_deterministic(self):
+        assert hash_bytes(b"abc") == hash_bytes(b"abc")
+
+    def test_different_inputs_differ(self):
+        assert hash_bytes(b"abc") != hash_bytes(b"abd")
+
+    def test_domain_separation(self):
+        assert hash_bytes(b"abc", domain="x") != hash_bytes(b"abc", domain="y")
+
+    def test_hex_digest_length(self):
+        assert len(hash_bytes(b"")) == DIGEST_SIZE * 2
+
+    def test_empty_input_is_fine(self):
+        assert hash_bytes(b"") != hash_bytes(b"\x00")
+
+
+class TestHashFields:
+    def test_field_boundaries_matter(self):
+        # Length prefixes make the encoding injective: moving a byte
+        # across a field boundary changes the digest.
+        a = hash_fields([b"ab", b"c"], domain="t")
+        b = hash_fields([b"a", b"bc"], domain="t")
+        assert a != b
+
+    def test_field_order_matters(self):
+        assert hash_fields([b"a", b"b"], domain="t") != hash_fields(
+            [b"b", b"a"], domain="t"
+        )
+
+    def test_empty_fields_distinct_from_no_fields(self):
+        assert hash_fields([], domain="t") != hash_fields([b""], domain="t")
+
+    def test_domain_separation(self):
+        fields = [b"x", b"y"]
+        assert hash_fields(fields, domain="a") != hash_fields(fields, domain="b")
+
+
+class TestShort:
+    def test_prefix(self):
+        digest = hash_bytes(b"abc")
+        assert short(digest) == digest[:8]
+        assert short(digest, 4) == digest[:4]

@@ -1,0 +1,40 @@
+"""Unit tests for the KeyRing — the fixed server set of the system model."""
+
+import pytest
+
+from repro.crypto.keys import KeyRing
+from repro.crypto.signatures import NullScheme
+from repro.types import ServerId, make_servers
+
+
+class TestKeyRing:
+    def test_registers_all_servers(self):
+        servers = make_servers(4)
+        ring = KeyRing(servers)
+        for server in servers:
+            signature = ring.sign(server, b"m")
+            assert ring.verify(server, b"m", signature)
+
+    def test_server_set_is_fixed_and_ordered(self):
+        servers = make_servers(3)
+        ring = KeyRing(servers)
+        assert list(ring.servers) == list(servers)
+        assert len(ring) == 3
+
+    def test_contains(self):
+        ring = KeyRing(make_servers(2))
+        assert ServerId("s1") in ring
+        assert ServerId("s9") not in ring
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            KeyRing([ServerId("a"), ServerId("a")])
+
+    def test_custom_scheme(self):
+        ring = KeyRing(make_servers(2), scheme=NullScheme())
+        assert ring.sign(ServerId("s1"), b"m") == b""
+
+    def test_cross_server_verification_fails(self):
+        ring = KeyRing(make_servers(2))
+        signature = ring.sign(ServerId("s1"), b"m")
+        assert not ring.verify(ServerId("s2"), b"m", signature)

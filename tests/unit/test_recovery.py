@@ -1,0 +1,91 @@
+"""Unit tests for the crash-recovery sync protocol internals."""
+
+from repro.crypto.keys import KeyRing
+from repro.gossip.module import Gossip
+from repro.gossip.recovery import RecoveringGossip, SyncRequest, SyncResponse
+from repro.net.simulator import NetworkSimulator
+from repro.net.transport import SimTransport
+from repro.requests import RequestBuffer
+from repro.types import make_servers
+
+
+def node_pair(batch_size=64):
+    servers = make_servers(2)
+    ring = KeyRing(servers)
+    sim = NetworkSimulator()
+    nodes = {}
+    for server in servers:
+        gossip = Gossip(server, ring, SimTransport(sim, server), RequestBuffer())
+        node = RecoveringGossip(gossip, sync_batch_size=batch_size)
+        nodes[server] = node
+        sim.register(server, node.on_receive)
+    return sim, nodes, servers
+
+
+class TestEnvelopes:
+    def test_sync_request_wire_size_scales_with_known_set(self):
+        small = SyncRequest(known=frozenset())
+        large = SyncRequest(known=frozenset(f"r{i}" for i in range(10)))
+        assert large.wire_size() == small.wire_size() + 320
+
+    def test_sync_response_wire_size_sums_blocks(self):
+        sim, nodes, servers = node_pair()
+        blocks = tuple(
+            nodes[servers[0]].gossip.disseminate_to([]) for _ in range(3)
+        )
+        response = SyncResponse(blocks=blocks)
+        assert response.wire_size() == sum(b.wire_size() for b in blocks) + 8
+
+
+class TestBatching:
+    def test_responses_batched(self):
+        sim, nodes, servers = node_pair(batch_size=10)
+        helper = nodes[servers[0]]
+        for _ in range(25):
+            helper.gossip.disseminate_to([])
+        received_batches = []
+        original = nodes[servers[1]].handle_sync_response
+
+        def counting(src, response):
+            received_batches.append(len(response.blocks))
+            original(src, response)
+
+        nodes[servers[1]].handle_sync_response = counting
+        nodes[servers[1]].recover_from(servers[0])
+        sim.run_until_idle()
+        assert received_batches == [10, 10, 5]
+        assert len(nodes[servers[1]].gossip.dag) == 25
+
+    def test_batches_arrive_in_insertable_order(self):
+        # Topological batching means the receiver never needs FWDs.
+        sim, nodes, servers = node_pair(batch_size=7)
+        helper = nodes[servers[0]]
+        for _ in range(20):
+            helper.gossip.disseminate_to([])
+        recoverer = nodes[servers[1]]
+        recoverer.recover_from(servers[0])
+        sim.run_until_idle()
+        assert recoverer.gossip.metrics.fwd_requests_sent == 0
+        assert len(recoverer.gossip.blks) == 0
+
+
+class TestResumeOwnChain:
+    def test_no_history_returns_false(self):
+        sim, nodes, servers = node_pair()
+        assert not nodes[servers[0]].resume_own_chain()
+
+    def test_already_ahead_returns_false(self):
+        sim, nodes, servers = node_pair()
+        node = nodes[servers[0]]
+        node.gossip.disseminate_to([])  # builder is now at k=1, tip k=0
+        assert not node.resume_own_chain()
+
+    def test_counters(self):
+        sim, nodes, servers = node_pair()
+        helper = nodes[servers[0]]
+        helper.gossip.disseminate_to([])
+        recoverer = nodes[servers[1]]
+        recoverer.recover_from(servers[0])
+        sim.run_until_idle()
+        assert recoverer.syncs_requested == 1
+        assert helper.syncs_served == 1

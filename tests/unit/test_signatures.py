@@ -1,0 +1,123 @@
+"""Unit tests for the pluggable signature schemes."""
+
+import pytest
+
+from repro.crypto.signatures import (
+    CountingScheme,
+    Ed25519Scheme,
+    HmacScheme,
+    NullScheme,
+)
+from repro.errors import UnknownKeyError
+from repro.types import ServerId
+
+S1 = ServerId("s1")
+S2 = ServerId("s2")
+
+
+@pytest.fixture(params=["hmac", "ed25519", "null"])
+def scheme(request):
+    if request.param == "hmac":
+        s = HmacScheme()
+    elif request.param == "ed25519":
+        s = Ed25519Scheme()
+    else:
+        s = NullScheme()
+    s.register(S1)
+    s.register(S2)
+    return s
+
+
+class TestSchemeContract:
+    """Properties every scheme must satisfy (the paper's §2 assumptions)."""
+
+    def test_sign_verify_roundtrip(self, scheme):
+        signature = scheme.sign(S1, b"message")
+        assert scheme.verify(S1, b"message", signature)
+
+    def test_signing_is_deterministic(self, scheme):
+        assert scheme.sign(S1, b"m") == scheme.sign(S1, b"m")
+
+    def test_unregistered_signer_rejected(self, scheme):
+        with pytest.raises(UnknownKeyError):
+            scheme.sign(ServerId("ghost"), b"m")
+
+    def test_verify_unknown_server_is_false(self, scheme):
+        signature = scheme.sign(S1, b"m")
+        assert not scheme.verify(ServerId("ghost"), b"m", signature)
+
+    def test_register_is_idempotent(self, scheme):
+        before = scheme.sign(S1, b"m")
+        scheme.register(S1)
+        assert scheme.sign(S1, b"m") == before
+
+    def test_registered_helper(self, scheme):
+        assert scheme.registered(S1)
+        assert not scheme.registered(ServerId("ghost"))
+
+
+class TestUnforgeability:
+    """Null excluded: it deliberately accepts everything."""
+
+    @pytest.fixture(params=["hmac", "ed25519"])
+    def strict_scheme(self, request):
+        s = HmacScheme() if request.param == "hmac" else Ed25519Scheme()
+        s.register(S1)
+        s.register(S2)
+        return s
+
+    def test_cross_server_signature_rejected(self, strict_scheme):
+        signature = strict_scheme.sign(S1, b"m")
+        assert not strict_scheme.verify(S2, b"m", signature)
+
+    def test_wrong_message_rejected(self, strict_scheme):
+        signature = strict_scheme.sign(S1, b"m")
+        assert not strict_scheme.verify(S1, b"m2", signature)
+
+    def test_garbage_signature_rejected(self, strict_scheme):
+        assert not strict_scheme.verify(S1, b"m", b"\x00" * 64)
+
+
+class TestEd25519SchemeSpecifics:
+    def test_public_key_exposed(self):
+        scheme = Ed25519Scheme()
+        scheme.register(S1)
+        assert len(scheme.public_key(S1)) == 32
+
+    def test_public_key_unknown_raises(self):
+        scheme = Ed25519Scheme()
+        with pytest.raises(UnknownKeyError):
+            scheme.public_key(S1)
+
+    def test_different_seeds_different_keys(self):
+        a = Ed25519Scheme(seed=b"a")
+        b = Ed25519Scheme(seed=b"b")
+        a.register(S1)
+        b.register(S1)
+        assert a.public_key(S1) != b.public_key(S1)
+
+
+class TestCountingScheme:
+    def test_counts_sign_and_verify(self):
+        counting = CountingScheme(HmacScheme())
+        counting.register(S1)
+        signature = counting.sign(S1, b"m")
+        counting.verify(S1, b"m", signature)
+        counting.verify(S1, b"m", signature)
+        assert counting.sign_count == 1
+        assert counting.verify_count == 2
+
+    def test_reset(self):
+        counting = CountingScheme(NullScheme())
+        counting.register(S1)
+        counting.sign(S1, b"m")
+        counting.reset()
+        assert counting.sign_count == 0
+        assert counting.verify_count == 0
+
+    def test_delegates_verdicts(self):
+        counting = CountingScheme(HmacScheme())
+        counting.register(S1)
+        signature = counting.sign(S1, b"m")
+        assert counting.verify(S1, b"m", signature)
+        assert not counting.verify(S1, b"x", signature)

@@ -1,0 +1,118 @@
+"""Unit tests for DAG traversal — eligibility, topological orders, depth."""
+
+from repro.dag.traversal import (
+    causal_past,
+    depth_map,
+    eligible_frontier,
+    topological_order,
+    verify_schedule,
+)
+from repro.types import ServerId
+
+S1, S2, S3, S4 = (ServerId(f"s{i}") for i in range(1, 5))
+
+
+class TestEligibleFrontier:
+    def test_genesis_blocks_eligible_first(self, dag_builder):
+        a = dag_builder.block(S1)
+        b = dag_builder.block(S2)
+        child = dag_builder.block(S1, refs=[b])
+        frontier = eligible_frontier(dag_builder.dag, set())
+        assert set(x.ref for x in frontier) == {a.ref, b.ref}
+        assert child.ref not in {x.ref for x in frontier}
+
+    def test_frontier_advances_with_interpretation(self, dag_builder):
+        a = dag_builder.block(S1)
+        b = dag_builder.block(S2)
+        child = dag_builder.block(S1, refs=[b])
+        done = {a.ref, b.ref}
+        frontier = eligible_frontier(dag_builder.dag, done)
+        assert [x.ref for x in frontier] == [child.ref]
+
+    def test_frontier_is_canonically_ordered(self, dag_builder):
+        dag_builder.block(S1)
+        dag_builder.block(S2)
+        dag_builder.block(S3)
+        frontier = eligible_frontier(dag_builder.dag, set())
+        assert [b.ref for b in frontier] == sorted(b.ref for b in frontier)
+
+    def test_empty_when_all_done(self, dag_builder):
+        dag_builder.round_all()
+        done = dag_builder.dag.refs
+        assert eligible_frontier(dag_builder.dag, done) == []
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self, dag_builder):
+        dag_builder.round_all()
+        dag_builder.round_all()
+        order = topological_order(dag_builder.dag)
+        assert verify_schedule(dag_builder.dag, order)
+
+    def test_covers_all_blocks(self, dag_builder):
+        dag_builder.round_all()
+        order = topological_order(dag_builder.dag)
+        assert len(order) == len(dag_builder.dag)
+
+    def test_custom_tie_break(self, dag_builder):
+        dag_builder.round_all()
+        by_server = topological_order(dag_builder.dag, tie_break=lambda b: b.n)
+        assert verify_schedule(dag_builder.dag, by_server)
+
+    def test_deterministic(self, dag_builder):
+        dag_builder.round_all()
+        dag_builder.round_all()
+        assert topological_order(dag_builder.dag) == topological_order(
+            dag_builder.dag
+        )
+
+
+class TestVerifySchedule:
+    def test_rejects_wrong_order(self, dag_builder):
+        a = dag_builder.block(S1)
+        child = dag_builder.block(S1)
+        assert not verify_schedule(dag_builder.dag, [child, a])
+        assert verify_schedule(dag_builder.dag, [a, child])
+
+    def test_rejects_duplicates(self, dag_builder):
+        a = dag_builder.block(S1)
+        assert not verify_schedule(dag_builder.dag, [a, a])
+
+    def test_rejects_incomplete(self, dag_builder):
+        a = dag_builder.block(S1)
+        dag_builder.block(S1)
+        assert not verify_schedule(dag_builder.dag, [a])
+
+
+class TestDepthAndPast:
+    def test_depths(self, dag_builder):
+        a = dag_builder.block(S1)
+        b = dag_builder.block(S2, refs=[a])
+        c = dag_builder.block(S3, refs=[b])
+        depths = depth_map(dag_builder.dag)
+        assert depths[a.ref] == 0
+        assert depths[b.ref] == 1
+        assert depths[c.ref] == 2
+
+    def test_depth_is_longest_path(self, dag_builder):
+        a = dag_builder.block(S1)
+        b = dag_builder.block(S2, refs=[a])
+        # c references both a (depth 0) and b (depth 1) ⇒ depth 2.
+        c = dag_builder.block(S3, refs=[a, b])
+        assert depth_map(dag_builder.dag)[c.ref] == 2
+
+    def test_causal_past_contains_all_ancestors(self, dag_builder):
+        layer1 = dag_builder.round_all()
+        layer2 = dag_builder.round_all()
+        target = layer2[0]
+        past = causal_past(dag_builder.dag, target)
+        past_refs = {b.ref for b in past}
+        assert target.ref in past_refs
+        for block in layer1:
+            assert block.ref in past_refs
+
+    def test_causal_past_excludes_unrelated(self, dag_builder):
+        a = dag_builder.block(S1)
+        unrelated = dag_builder.block(S2)
+        past = causal_past(dag_builder.dag, a)
+        assert unrelated.ref not in {b.ref for b in past}

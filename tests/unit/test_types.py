@@ -1,0 +1,88 @@
+"""Unit tests for repro.types — system-model constants and id helpers."""
+
+import pytest
+
+from repro.types import (
+    Indication,
+    Request,
+    label,
+    make_servers,
+    max_faults,
+    quorum_size,
+    server_id,
+)
+
+
+class TestMakeServers:
+    def test_generates_distinct_ids(self):
+        servers = make_servers(4)
+        assert len(servers) == 4
+        assert len(set(servers)) == 4
+
+    def test_ids_are_one_indexed(self):
+        assert make_servers(3) == ["s1", "s2", "s3"]
+
+    def test_custom_prefix(self):
+        assert make_servers(2, prefix="node") == ["node1", "node2"]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            make_servers(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_servers(-1)
+
+
+class TestFaultBudget:
+    def test_classic_3f_plus_1(self):
+        # n = 3f + 1 ⇒ f tolerated.
+        assert max_faults(4) == 1
+        assert max_faults(7) == 2
+        assert max_faults(10) == 3
+
+    def test_sub_quorum_sizes(self):
+        assert max_faults(1) == 0
+        assert max_faults(2) == 0
+        assert max_faults(3) == 0
+
+    def test_quorum_is_2f_plus_1(self):
+        assert quorum_size(4) == 3
+        assert quorum_size(7) == 5
+        assert quorum_size(10) == 7
+
+    def test_quorums_intersect_in_correct_server(self):
+        # Two quorums of size 2f+1 out of 3f+1 overlap in ≥ f+1 servers,
+        # hence in at least one correct server.
+        for n in (4, 7, 10, 13):
+            f = max_faults(n)
+            q = quorum_size(n)
+            overlap = 2 * q - n
+            assert overlap >= f + 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            max_faults(0)
+
+
+class TestIdConstructors:
+    def test_server_id_is_str(self):
+        assert server_id("alpha") == "alpha"
+
+    def test_label_is_str(self):
+        assert label("tx-1") == "tx-1"
+
+
+class TestMarkerClasses:
+    def test_request_is_frozen(self):
+        r = Request()
+        with pytest.raises(Exception):
+            r.x = 1  # type: ignore[attr-defined]
+
+    def test_indication_is_frozen(self):
+        i = Indication()
+        with pytest.raises(Exception):
+            i.x = 1  # type: ignore[attr-defined]
+
+    def test_markers_are_hashable(self):
+        assert {Request(), Indication()}

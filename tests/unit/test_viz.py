@@ -1,0 +1,93 @@
+"""Unit tests for the DAG visualizers."""
+
+from repro.protocols.brb import Broadcast
+from repro.types import Label, ServerId
+from repro.viz import render_lanes, to_dot
+
+from helpers import ManualDagBuilder
+
+S1, S2 = ServerId("s1"), ServerId("s2")
+
+
+class TestDot:
+    def test_empty_dag(self):
+        builder = ManualDagBuilder(2, servers=[S1, S2])
+        dot = to_dot(builder.dag)
+        assert dot.startswith("digraph")
+        assert dot.endswith("}")
+
+    def test_nodes_and_edges_present(self):
+        builder = ManualDagBuilder(2, servers=[S1, S2])
+        a = builder.block(S1)
+        b = builder.block(S2, refs=[a])
+        dot = to_dot(builder.dag)
+        assert a.ref[:8] in dot
+        assert b.ref[:8] in dot
+        assert f'"{a.ref[:8]}" -> "{b.ref[:8]}"' in dot
+
+    def test_forks_highlighted(self):
+        builder = ManualDagBuilder(2, servers=[S1, S2])
+        builder.block(S1)
+        builder.block(S1)
+        builder.fork(S1, rs=[(Label("l"), Broadcast(1))])
+        dot = to_dot(builder.dag)
+        assert "color=red" in dot
+
+    def test_fork_highlighting_optional(self):
+        builder = ManualDagBuilder(2, servers=[S1, S2])
+        builder.block(S1)
+        builder.block(S1)
+        builder.fork(S1, rs=[(Label("l"), Broadcast(1))])
+        dot = to_dot(builder.dag, highlight_forks=False)
+        assert "color=red" not in dot
+
+    def test_request_count_in_label(self):
+        builder = ManualDagBuilder(2, servers=[S1, S2])
+        builder.block(S1, rs=[(Label("l"), Broadcast(1))])
+        assert "1 req" in to_dot(builder.dag)
+
+    def test_rank_lanes_per_server(self):
+        builder = ManualDagBuilder(2, servers=[S1, S2])
+        builder.block(S1)
+        builder.block(S2)
+        dot = to_dot(builder.dag)
+        assert dot.count("rank=same") == 2
+
+
+class TestLanes:
+    def test_empty(self):
+        builder = ManualDagBuilder(2, servers=[S1, S2])
+        assert "empty" in render_lanes(builder.dag)
+
+    def test_lane_per_server(self):
+        builder = ManualDagBuilder(2, servers=[S1, S2])
+        builder.block(S1)
+        builder.block(S2)
+        text = render_lanes(builder.dag)
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("d=0")
+        assert any(line.startswith("s1") for line in lines)
+        assert any(line.startswith("s2") for line in lines)
+
+    def test_depth_columns(self):
+        builder = ManualDagBuilder(2, servers=[S1, S2])
+        a = builder.block(S1)
+        builder.block(S2, refs=[a])
+        text = render_lanes(builder.dag)
+        assert "d=1" in text
+
+    def test_fork_marker(self):
+        builder = ManualDagBuilder(2, servers=[S1, S2])
+        builder.block(S1)
+        builder.block(S1)
+        builder.fork(S1, rs=[(Label("l"), Broadcast(1))])
+        assert "!fork" in render_lanes(builder.dag)
+
+    def test_request_and_pred_counts(self):
+        builder = ManualDagBuilder(2, servers=[S1, S2])
+        a = builder.block(S1, rs=[(Label("l"), Broadcast(1))])
+        b = builder.block(S2)
+        builder.block(S1, refs=[b])
+        text = render_lanes(builder.dag)
+        assert "r1" in text  # request count on B1
+        assert "p2" in text  # pred count on s1's k=1 block
