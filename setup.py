@@ -1,20 +1,47 @@
-"""Legacy setup shim.
+"""Packaging for the ``repro`` distribution.
 
 The runtime environment is offline and lacks the ``wheel`` package, so
-PEP 517 editable installs are unavailable; this file enables the classic
-``pip install -e .`` path.  Metadata mirrors pyproject.toml.
+PEP 517 editable installs are unavailable; this classic setup script
+keeps ``pip install -e .`` working.  The library itself has no
+third-party runtime dependencies — ``pytest`` and ``hypothesis`` are
+needed only for the test suite (the ``test`` extra).
 """
+
+from pathlib import Path
 
 from setuptools import find_packages, setup
 
+_here = Path(__file__).parent
+_readme = _here / "README.md"
+
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Embedding a deterministic BFT protocol in a block DAG "
-        "(Schett & Danezis, PODC 2021) — full reproduction"
+        "(Schett & Danezis, PODC 2021) — full reproduction with durable "
+        "storage and crash recovery"
     ),
+    long_description=_readme.read_text(encoding="utf-8") if _readme.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
     python_requires=">=3.10",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: System :: Distributed Computing",
+    ],
+    keywords="bft consensus block-dag byzantine broadcast reproduction",
+    zip_safe=False,
 )

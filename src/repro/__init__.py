@@ -52,15 +52,18 @@ from repro.protocols import (
 from repro.runtime import (
     Cluster,
     ClusterConfig,
+    CrashEvent,
+    CrashPlan,
     DirectRuntime,
     EquivocatorAdversary,
     SilentAdversary,
     equivalent_traces,
 )
 from repro.shim import Shim
+from repro.storage import ServerStorage, StorageConfig, WriteAheadLog
 from repro.types import Label, ServerId, label, make_servers, server_id
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Block",
@@ -74,6 +77,8 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "CountingScheme",
+    "CrashEvent",
+    "CrashPlan",
     "Deliver",
     "Digraph",
     "DirectRuntime",
@@ -93,10 +98,13 @@ __all__ = [
     "NullScheme",
     "ProtocolSpec",
     "ServerId",
+    "ServerStorage",
     "Shim",
     "SilentAdversary",
+    "StorageConfig",
     "Validator",
     "Validity",
+    "WriteAheadLog",
     "bcb_protocol",
     "brb_protocol",
     "counter_protocol",

@@ -31,6 +31,13 @@ class CostSummary:
     blocks: int = 0
     indications: int = 0
     virtual_time: float = 0.0
+    # Persistence costs (zero unless the run used the storage subsystem).
+    wal_bytes: int = 0
+    wal_appends: int = 0
+    checkpoints_written: int = 0
+    checkpoint_age_blocks: int = 0
+    pruned_blocks: int = 0
+    pruned_wal_segments: int = 0
     extra: dict[str, float] = field(default_factory=dict)
 
     def signature_ops(self) -> int:
@@ -39,7 +46,7 @@ class CostSummary:
 
     def as_row(self) -> dict[str, object]:
         """Flat dict for table rendering."""
-        return {
+        row: dict[str, object] = {
             "runtime": self.runtime,
             "wire msgs": self.wire_messages,
             "wire bytes": self.wire_bytes,
@@ -49,6 +56,11 @@ class CostSummary:
             "indications": self.indications,
             "t_virt": round(self.virtual_time, 2),
         }
+        if self.wal_appends:
+            row["wal bytes"] = self.wal_bytes
+            row["ckpts"] = self.checkpoints_written
+            row["pruned"] = self.pruned_blocks
+        return row
 
 
 def collect_cluster_costs(cluster: Cluster, name: str = "block-dag") -> CostSummary:
@@ -73,6 +85,17 @@ def collect_cluster_costs(cluster: Cluster, name: str = "block-dag") -> CostSumm
     )
     summary.virtual_time = cluster.sim.now
     summary.extra["rounds"] = float(cluster.rounds_run)
+    storage = cluster.storage_metrics()
+    if storage["wal_appends"]:
+        summary.wal_bytes = int(storage["wal_bytes"])
+        summary.wal_appends = int(storage["wal_appends"])
+        summary.checkpoints_written = int(storage["checkpoints_written"])
+        summary.checkpoint_age_blocks = int(storage["checkpoint_age_max"])
+        summary.pruned_blocks = int(storage["payloads_dropped"])
+        summary.pruned_wal_segments = int(storage["wal_segments_dropped"])
+        summary.extra["states_released"] = storage["states_released"]
+        summary.extra["blocks_recovered"] = storage["blocks_recovered"]
+        summary.extra["blocks_replayed"] = storage["blocks_replayed"]
     return summary
 
 

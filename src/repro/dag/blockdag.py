@@ -171,6 +171,7 @@ class BlockDag:
         self.graph: Digraph[BlockRef] = Digraph()
         self._store: dict[BlockRef, Block] = {}
         self._by_server: dict[ServerId, dict[SeqNum, list[BlockRef]]] = {}
+        self._pruned_payloads: set[BlockRef] = set()
 
     # -- queries --------------------------------------------------------------
 
@@ -266,6 +267,44 @@ class BlockDag:
         )
         return True
 
+    # -- pruning (storage subsystem GC) -----------------------------------------
+
+    @property
+    def pruned_payloads(self) -> frozenset[BlockRef]:
+        """Refs whose stored blocks are payload-free stubs."""
+        return frozenset(self._pruned_payloads)
+
+    def payload_pruned(self, ref: BlockRef) -> bool:
+        """Whether ``ref``'s stored block lost its request payload."""
+        return ref in self._pruned_payloads
+
+    def drop_payload(self, ref: BlockRef) -> int | None:
+        """Replace the stored block with a payload-free stub.
+
+        The stub keeps ``n``, ``k``, ``preds``, ``sigma`` and — pinned
+        explicitly, since ``ref(B)`` covers the dropped ``rs`` — the
+        original reference, so graph structure, parent relations and
+        signature verification (``sign`` covers ``ref(B)``) all still
+        hold.  Only the request payload is gone; the GC layer
+        guarantees nothing will read it again.  Returns the estimated
+        bytes freed, or ``None`` if already pruned.  Idempotent.
+        """
+        if ref in self._pruned_payloads:
+            return None
+        block = self._store.get(ref)
+        if block is None:
+            raise MissingPredecessorError(f"block not in DAG: {ref[:8]}…")
+        freed = 0
+        if block.rs:
+            stub = Block(
+                n=block.n, k=block.k, preds=block.preds, rs=(), sigma=block.sigma
+            )
+            stub.__dict__["ref"] = ref
+            freed = block.wire_size() - stub.wire_size()
+            self._store[ref] = stub
+        self._pruned_payloads.add(ref)
+        return freed
+
     # -- relations between DAGs (⩽, ∪, joint DAG) -------------------------------
 
     def is_prefix_of(self, other: "BlockDag") -> bool:
@@ -311,6 +350,7 @@ class BlockDag:
             server: {seq: list(refs) for seq, refs in chains.items()}
             for server, chains in self._by_server.items()
         }
+        result._pruned_payloads = set(self._pruned_payloads)
         return result
 
     def predecessors(self, block: Block) -> list[Block]:

@@ -69,3 +69,21 @@ class NondeterminismError(ProtocolError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class StorageError(ReproError):
+    """Durable-storage failure (WAL, checkpoint, or recovery)."""
+
+
+class WalCorruptionError(StorageError):
+    """A write-ahead-log record failed its integrity check somewhere
+    other than the torn tail of the final segment."""
+
+
+class CheckpointError(StorageError):
+    """A checkpoint could not be written, read, or installed."""
+
+
+class PrunedStateError(SimulationError):
+    """Interpretation needed the state of a block pruned below the
+    stable frontier (a block referenced something past the GC horizon)."""

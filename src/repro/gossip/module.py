@@ -152,9 +152,12 @@ class Gossip:
     def _on_fwd_request(self, src: ServerId, ref: BlockRef) -> None:
         # Lines 12–13: answer only from G.  (A correct server is only
         # ever asked for predecessors of blocks it disseminated, which
-        # are in its G; anything else can be safely ignored.)
+        # are in its G; anything else can be safely ignored.)  Blocks
+        # whose payload was pruned below the stable frontier cannot be
+        # served — the stub would not re-hash to the requested ref; a
+        # peer that far behind needs a checkpoint, not FWD.
         block = self.dag.get(ref)
-        if block is not None:
+        if block is not None and not self.dag.payload_pruned(ref):
             self.metrics.fwd_requests_answered += 1
             self.transport.send(src, BlockEnvelope(block))
         else:

@@ -93,16 +93,27 @@ class RecoveryMixin:
 
         Returns ``True`` if a previous chain was found and adopted.
         """
-        tip = self.gossip.dag.tip(self.gossip.server)
-        if tip is None:
-            return False
-        builder = self.gossip.builder
-        if builder.next_seq > tip.k:
-            return False  # already ahead (no crash or partial loss only)
-        builder._k = tip.k + 1
-        builder._preds = [tip.ref]
-        builder._seen_preds = {tip.ref}
-        return True
+        return adopt_chain_tip(self.gossip)
+
+
+def adopt_chain_tip(gossip: Gossip) -> bool:
+    """Re-adopt ``gossip``'s own highest DAG block as the builder parent.
+
+    Shared by network resynchronization (above) and restart-from-disk
+    (:mod:`repro.storage`): in both cases the server's old chain came
+    back — over the wire or from the WAL — and the next sealed block
+    must continue it with consecutive sequence numbers.
+    """
+    tip = gossip.dag.tip(gossip.server)
+    if tip is None:
+        return False
+    builder = gossip.builder
+    if builder.next_seq > tip.k:
+        return False  # already ahead (no crash or partial loss only)
+    builder._k = tip.k + 1
+    builder._preds = [tip.ref]
+    builder._seen_preds = {tip.ref}
+    return True
 
 
 def _as_block_envelope(block: Block):

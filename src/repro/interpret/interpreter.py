@@ -39,7 +39,7 @@ from typing import Callable, Iterable, Sequence
 from repro.dag.block import Block
 from repro.dag.blockdag import BlockDag
 from repro.dag.traversal import eligible_frontier
-from repro.errors import SimulationError
+from repro.errors import PrunedStateError, SimulationError
 from repro.interpret.instance import BlockState
 from repro.interpret.order import ordered
 from repro.protocols.base import Message, ProcessInstance, ProtocolSpec, StepResult
@@ -97,6 +97,9 @@ class Interpreter:
         self.servers = tuple(servers)
         self.on_indication = on_indication
         self.interpreted: set[BlockRef] = set()
+        #: Refs whose states were pruned below the stable frontier; they
+        #: stay in ``interpreted`` but their annotations are gone.
+        self.released: set[BlockRef] = set()
         self.events: list[IndicationEvent] = []
         self._states: dict[BlockRef, BlockState] = {}
         self._active_labels: dict[BlockRef, frozenset[Label]] = {}
@@ -105,6 +108,9 @@ class Interpreter:
         self.messages_delivered = 0
         self.messages_materialized = 0
         self.request_steps = 0
+        #: Blocks permanently uninterpretable because a predecessor's
+        #: state was pruned (see :meth:`eligible`).
+        self.below_horizon = 0
 
     # -- queries ------------------------------------------------------------
 
@@ -116,20 +122,59 @@ class Interpreter:
         """The ``PIs``/``Ms`` annotation of an interpreted block."""
         state = self._states.get(ref)
         if state is None:
+            if ref in self.released:
+                raise PrunedStateError(
+                    f"annotation pruned below the stable frontier: {ref[:8]}…"
+                )
             raise SimulationError(f"block not interpreted yet: {ref[:8]}…")
         return state
 
     def eligible(self) -> list[Block]:
-        """Blocks currently satisfying ``eligible(B)`` (line 3)."""
-        return eligible_frontier(self.dag, self.interpreted)
+        """Blocks currently satisfying ``eligible(B)`` (line 3).
+
+        A block whose direct predecessor was pruned below the stable
+        frontier can never be interpreted (its inputs are gone); such
+        blocks — only a byzantine builder can produce them once GC's
+        full-reference rule holds — are excluded rather than raised on,
+        and counted in :attr:`below_horizon`.
+        """
+        frontier = eligible_frontier(self.dag, self.interpreted)
+        if not self.released:
+            return frontier
+        usable = [
+            b for b in frontier
+            if not any(p in self.released for p in b.preds)
+        ]
+        self.below_horizon = len(frontier) - len(usable)
+        return usable
 
     def active_labels(self, ref: BlockRef) -> frozenset[Label]:
         """Labels with a request in the block's strict causal past — the
         set of line 7."""
         labels = self._active_labels.get(ref)
         if labels is None:
+            if ref in self.released:
+                raise PrunedStateError(
+                    f"annotation pruned below the stable frontier: {ref[:8]}…"
+                )
             raise SimulationError(f"block not interpreted yet: {ref[:8]}…")
         return labels
+
+    # -- pruning (storage subsystem) -------------------------------------------
+
+    def release_state(self, ref: BlockRef) -> None:
+        """Drop an interpreted block's annotation (``PIs``/``Ms``/active
+        labels) to reclaim memory.  The block stays ``interpreted``; the
+        caller (:mod:`repro.storage.gc`) guarantees a durable checkpoint
+        holds the annotation and that no future interpretation needs it.
+        """
+        if ref not in self.interpreted:
+            raise SimulationError(
+                f"cannot release a block that was never interpreted: {ref[:8]}…"
+            )
+        self._states.pop(ref, None)
+        self._active_labels.pop(ref, None)
+        self.released.add(ref)
 
     # -- execution ------------------------------------------------------------
 
@@ -161,6 +206,13 @@ class Interpreter:
         if missing:
             raise SimulationError(
                 f"block not eligible, uninterpreted predecessors: {missing!r}"
+            )
+        pruned = [p for p in preds if p.ref in self.released]
+        if pruned:
+            raise PrunedStateError(
+                f"cannot interpret {block!r}: predecessor annotations "
+                f"pruned below the stable frontier: "
+                f"{[p.ref[:8] for p in pruned]}"
             )
 
         state = BlockState()

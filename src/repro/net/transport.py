@@ -45,6 +45,50 @@ class Transport(ABC):
                 self.send(server, envelope)
 
 
+class RevocableTransport(Transport):
+    """A transport that can be cut off — the egress half of a crash.
+
+    The cluster runtime wraps each correct server's transport in one of
+    these when a :class:`~repro.runtime.cluster.CrashPlan` is active.
+    Crashing a server revokes its transport: pending timer callbacks of
+    the dead incarnation (FWD retries heap-scheduled before the crash)
+    may still fire, but anything they try to send or schedule is
+    silently dropped, exactly as if the process were gone.
+    """
+
+    def __init__(self, inner: Transport) -> None:
+        self._inner = inner
+        self._revoked = False
+
+    def revoke(self) -> None:
+        """Cut this transport off permanently (the server crashed)."""
+        self._revoked = True
+
+    @property
+    def revoked(self) -> bool:
+        return self._revoked
+
+    @property
+    def self_id(self) -> ServerId:
+        return self._inner.self_id
+
+    @property
+    def now(self) -> float:
+        return self._inner.now
+
+    def send(self, dst: ServerId, envelope: Envelope) -> None:
+        if not self._revoked:
+            self._inner.send(dst, envelope)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        if not self._revoked:
+            self._inner.schedule(delay, action)
+
+    def broadcast(self, servers: Sequence[ServerId], envelope: Envelope) -> None:
+        if not self._revoked:
+            self._inner.broadcast(servers, envelope)
+
+
 class SimTransport(Transport):
     """Transport bound to one server on a :class:`NetworkSimulator`."""
 

@@ -35,6 +35,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.dag.codec import register_dataclass
 from repro.types import Indication, Label, Request, ServerId, max_faults, quorum_size
 
 
@@ -44,10 +45,20 @@ class Payload:
 
     Concrete payloads are frozen dataclasses, so messages are hashable,
     canonically encodable (for the ``<_M`` order) and safely shared
-    between simulated processes.
+    between simulated processes.  Subclasses self-register with the
+    codec at definition time so persisted messages (checkpoints) decode
+    in any process that imported the protocol.
     """
 
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        # Explicit two-arg super: ``slots=True`` recreates the class,
+        # invalidating the ``__class__`` cell zero-arg super needs.
+        super(Payload, cls).__init_subclass__(**kwargs)
+        register_dataclass(cls)
 
+
+# Messages appear inside persisted checkpoints; registered for decoding.
+@register_dataclass
 @dataclass(frozen=True, slots=True)
 class Message:
     """A protocol message ``m ∈ M_P`` with ``m.sender`` and ``m.receiver`` (§2)."""

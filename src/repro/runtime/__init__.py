@@ -19,7 +19,7 @@ from repro.runtime.adversary import (
     SilentAdversary,
     WithholdingAdversary,
 )
-from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.runtime.cluster import Cluster, ClusterConfig, CrashEvent, CrashPlan
 from repro.runtime.compare import equivalent_traces, summarize_trace
 from repro.runtime.direct import DirectRuntime, ProtocolMessageEnvelope
 
@@ -28,6 +28,8 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "CrashAdversary",
+    "CrashEvent",
+    "CrashPlan",
     "DirectRuntime",
     "EquivocatorAdversary",
     "GarbageAdversary",

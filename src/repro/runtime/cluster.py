@@ -17,19 +17,80 @@ and measure progress ("delivered after k rounds").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 from repro.crypto.keys import KeyRing
 from repro.crypto.signatures import SignatureScheme
+from repro.errors import SimulationError
 from repro.gossip.module import GossipConfig
 from repro.net.faults import FaultPlan
 from repro.net.latency import FixedLatency, LatencyModel
 from repro.net.simulator import NetworkSimulator
-from repro.net.transport import SimTransport
+from repro.net.transport import RevocableTransport, SimTransport
 from repro.protocols.base import ProtocolSpec, Trace
 from repro.runtime.adversary import Adversary
 from repro.shim.shim import Shim
+from repro.storage.blockstore import ServerStorage, StorageConfig
 from repro.types import Label, Request, ServerId, make_servers
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One crash (and optional restart-from-disk) of a correct server.
+
+    ``crash_round``/``restart_round`` are round indices: the event fires
+    at the *start* of that round.  ``restart_round=None`` leaves the
+    server down for the rest of the run.
+    """
+
+    server: ServerId
+    crash_round: int
+    restart_round: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.crash_round < 0:
+            raise ValueError(f"crash_round must be ≥ 0, got {self.crash_round}")
+        if self.restart_round is not None and self.restart_round <= self.crash_round:
+            raise ValueError(
+                f"restart_round {self.restart_round} must come after "
+                f"crash_round {self.crash_round}"
+            )
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Schedule of crash faults for a cluster run.
+
+    The crash-fault counterpart of :class:`~repro.net.faults.FaultPlan`
+    (network faults) and the adversary map (byzantine faults): with a
+    ``storage_dir`` configured, a crashed server loses **all volatile
+    state** — DAG, annotations, request buffer, in-flight gossip — and
+    a restarted one rebuilds from its WAL + checkpoint alone, then
+    catches up over the network.  Theorem 5.1 is thereby testable
+    across a crash: the recovered server must converge to byte-identical
+    annotations.
+    """
+
+    events: tuple[CrashEvent, ...] = ()
+
+    @staticmethod
+    def none() -> "CrashPlan":
+        """No crashes (the default)."""
+        return CrashPlan()
+
+    @staticmethod
+    def crash_restart(
+        server: ServerId, crash_round: int, restart_round: int
+    ) -> "CrashPlan":
+        """One server crashing once and restarting from disk."""
+        return CrashPlan((CrashEvent(server, crash_round, restart_round),))
+
+    def crashes_at(self, round_index: int) -> list[CrashEvent]:
+        return [e for e in self.events if e.crash_round == round_index]
+
+    def restarts_at(self, round_index: int) -> list[CrashEvent]:
+        return [e for e in self.events if e.restart_round == round_index]
 
 
 @dataclass
@@ -48,6 +109,11 @@ class ClusterConfig:
     gossip: GossipConfig = field(default_factory=GossipConfig)
     #: Interpret incrementally on insertion (False = off-line mode).
     auto_interpret: bool = True
+    #: Root directory for per-server durable storage (``<dir>/<server>``).
+    #: ``None`` (default) keeps everything in RAM, as before.
+    storage_dir: str | Path | None = None
+    #: Persistence tunables, used when ``storage_dir`` is set.
+    storage: StorageConfig = field(default_factory=StorageConfig)
 
 
 class Cluster:
@@ -73,6 +139,7 @@ class Cluster:
         config: ClusterConfig | None = None,
         faults: FaultPlan | None = None,
         adversaries: Mapping[ServerId, Callable[..., Adversary]] | None = None,
+        crash_plan: CrashPlan | None = None,
     ) -> None:
         if servers is None:
             if n is None:
@@ -81,17 +148,29 @@ class Cluster:
         self.servers: tuple[ServerId, ...] = tuple(servers)
         self.protocol = protocol
         self.config = config if config is not None else ClusterConfig()
+        self.crash_plan = crash_plan if crash_plan is not None else CrashPlan.none()
+        if self.crash_plan.events and self.config.storage_dir is None:
+            raise SimulationError(
+                "a CrashPlan needs ClusterConfig.storage_dir: a crashed "
+                "server loses all volatile state and can only restart "
+                "from disk"
+            )
         self.keyring = KeyRing(self.servers, scheme)
         self.sim = NetworkSimulator(
             latency=self.config.latency, seed=self.config.seed, faults=faults
         )
         self.shims: dict[ServerId, Shim] = {}
         self.adversaries: dict[ServerId, Adversary] = {}
+        #: Servers currently down (crashed, not yet restarted).
+        self.down: set[ServerId] = set()
+        self._transports: dict[ServerId, RevocableTransport] = {}
         self.rounds_run = 0
+        self.crashes_performed = 0
+        self.restarts_performed = 0
         adversaries = dict(adversaries or {})
         for server in self.servers:
-            transport = SimTransport(self.sim, server)
             if server in adversaries:
+                transport = SimTransport(self.sim, server)
                 adversary = adversaries[server](
                     server=server,
                     keyring=self.keyring,
@@ -101,16 +180,34 @@ class Cluster:
                 self.adversaries[server] = adversary
                 self.sim.register(server, adversary.on_network)
             else:
-                shim = Shim(
-                    server,
-                    protocol,
-                    self.keyring,
-                    transport,
-                    config=self.config.gossip,
-                    auto_interpret=self.config.auto_interpret,
-                )
+                shim = self._build_shim(server)
                 self.shims[server] = shim
                 self.sim.register(server, shim.on_network)
+
+    def _build_shim(self, server: ServerId) -> Shim:
+        """A correct server's shim — wired to storage when configured.
+
+        Construction *is* recovery: if the server's storage directory
+        already holds data (a restart), the shim rebuilds itself from
+        disk before it is attached to the network.
+        """
+        transport = RevocableTransport(SimTransport(self.sim, server))
+        self._transports[server] = transport
+        storage = None
+        if self.config.storage_dir is not None:
+            storage = ServerStorage(
+                Path(self.config.storage_dir) / str(server),
+                config=self.config.storage,
+            )
+        return Shim(
+            server,
+            self.protocol,
+            self.keyring,
+            transport,
+            config=self.config.gossip,
+            auto_interpret=self.config.auto_interpret,
+            storage=storage,
+        )
 
     # -- convenience ------------------------------------------------------------
 
@@ -135,19 +232,64 @@ class Cluster:
         for shim in self.shims.values():
             shim.request(label, request)
 
+    # -- crash faults ----------------------------------------------------------------
+
+    def crash(self, server: ServerId) -> None:
+        """Kill a correct server: all volatile state is gone.
+
+        Its transport is revoked (late timer callbacks of the dead
+        incarnation can no longer send), its network handler swallows
+        deliveries, and the shim object is dropped.  Durable state —
+        the WAL and checkpoints under ``storage_dir`` — survives, which
+        is exactly and only what a real crash leaves behind.
+        """
+        if server in self.down:
+            raise SimulationError(f"server already down: {server!r}")
+        if server not in self.shims:
+            raise SimulationError(f"not a live correct server: {server!r}")
+        del self.shims[server]
+        self._transports[server].revoke()
+        self.sim.replace_handler(server, lambda src, envelope: None)
+        self.down.add(server)
+        self.crashes_performed += 1
+
+    def restart(self, server: ServerId) -> Shim:
+        """Bring a crashed server back, recovering from disk.
+
+        The new shim rebuilds its DAG and annotations from the WAL +
+        latest checkpoint during construction, then rejoins the network
+        and catches up on blocks it missed through normal gossip/FWD.
+        """
+        if server not in self.down:
+            raise SimulationError(f"server is not down: {server!r}")
+        self.down.discard(server)
+        shim = self._build_shim(server)
+        self.shims[server] = shim
+        self.sim.replace_handler(server, shim.on_network)
+        self.restarts_performed += 1
+        return shim
+
+    def _apply_crash_plan(self) -> None:
+        for event in self.crash_plan.restarts_at(self.rounds_run):
+            self.restart(event.server)
+        for event in self.crash_plan.crashes_at(self.rounds_run):
+            self.crash(event.server)
+
     # -- driving ------------------------------------------------------------------
 
     def round(self) -> None:
         """One dissemination round plus ``round_duration`` of network time."""
+        self._apply_crash_plan()
         start = self.sim.now
         for index, server in enumerate(self.servers):
             offset = self.config.stagger * index
             if server in self.shims:
                 shim = self.shims[server]
                 self.sim.schedule(offset, shim.disseminate)
-            else:
+            elif server in self.adversaries:
                 adversary = self.adversaries[server]
                 self.sim.schedule(offset, adversary.on_round)
+            # Servers in ``self.down`` sit the round out.
         self.sim.run(until=start + self.config.round_duration)
         self.rounds_run += 1
 
@@ -225,6 +367,42 @@ class Cluster:
             totals["messages_delivered"] += interpreter.messages_delivered
             totals["messages_materialized"] += interpreter.messages_materialized
             totals["request_steps"] += interpreter.request_steps
+        return totals
+
+    def storage_metrics(self) -> dict[str, float]:
+        """Aggregated persistence counters across live correct servers
+        (all zero when no ``storage_dir`` is configured)."""
+        totals: dict[str, float] = {
+            "wal_appends": 0.0,
+            "wal_bytes": 0.0,
+            "wal_segments": 0.0,
+            "checkpoints_written": 0.0,
+            "checkpoint_bytes": 0.0,
+            "checkpoint_age_max": 0.0,
+            "states_released": 0.0,
+            "payloads_dropped": 0.0,
+            "wal_segments_dropped": 0.0,
+            "blocks_recovered": 0.0,
+            "blocks_replayed": 0.0,
+        }
+        for shim in self.shims.values():
+            if shim.storage is None:
+                continue
+            metrics = shim.storage.metrics_snapshot()
+            totals["wal_appends"] += metrics.wal_appends
+            totals["wal_bytes"] += metrics.wal_bytes
+            totals["wal_segments"] += metrics.wal_segments
+            totals["checkpoints_written"] += metrics.checkpoints_written
+            totals["checkpoint_bytes"] += metrics.checkpoint_bytes
+            totals["checkpoint_age_max"] = max(
+                totals["checkpoint_age_max"], float(shim.checkpoint_age())
+            )
+            totals["states_released"] += metrics.states_released
+            totals["payloads_dropped"] += metrics.payloads_dropped
+            totals["wal_segments_dropped"] += metrics.wal_segments_dropped
+            if shim.recovery is not None:
+                totals["blocks_recovered"] += shim.recovery.blocks_recovered
+                totals["blocks_replayed"] += shim.recovery.blocks_replayed
         return totals
 
 

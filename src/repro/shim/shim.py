@@ -30,6 +30,10 @@ from repro.net.message import Envelope
 from repro.net.transport import Transport
 from repro.protocols.base import ProtocolSpec
 from repro.requests import RequestBuffer
+from repro.storage.blockstore import ServerStorage
+from repro.storage.checkpoint import capture_checkpoint
+from repro.storage.gc import prune
+from repro.storage.recover import RecoveryReport, recover_shim_state
 from repro.types import Indication, Label, Request, ServerId
 
 #: User-facing indication callback: ``(label, indication)``.
@@ -57,6 +61,19 @@ class Shim:
         insertion.  ``False`` decouples building from interpretation —
         the off-line mode of experiment CLM-OFFLINE; call
         :meth:`interpret_now` explicitly.
+    storage:
+        Optional :class:`~repro.storage.blockstore.ServerStorage`.
+        When given, every inserted block is appended to the WAL before
+        interpretation, interpreter checkpoints are written every
+        ``storage.config.checkpoint_interval`` interpreted blocks (with
+        pruning below the stable frontier when enabled), and — if the
+        storage directory already holds a previous incarnation's data —
+        the shim **recovers from disk** during construction: DAG,
+        annotations, indication history and builder chain all resume
+        where the crash left them (see :mod:`repro.storage.recover`).
+        Indications replayed for the post-checkpoint suffix re-fire the
+        ``on_indication`` callback: delivery is at-least-once across a
+        crash, exactly like any durable-log system.
     """
 
     def __init__(
@@ -68,12 +85,14 @@ class Shim:
         config: GossipConfig | None = None,
         on_indication: IndicationHandler | None = None,
         auto_interpret: bool = True,
+        storage: ServerStorage | None = None,
     ) -> None:
         self.server = server
         self.protocol = protocol
         self.keyring = keyring
         self.auto_interpret = auto_interpret
         self.on_indication = on_indication
+        self.storage = storage
         self.rqsts = RequestBuffer()  # line 2
         self.dag = BlockDag()  # line 3
         self.gossip = Gossip(  # line 4
@@ -93,6 +112,15 @@ class Shim:
         )
         #: Indications delivered to the user of ``P`` at this server.
         self.indications: list[tuple[Label, Indication]] = []
+        #: Report of the restart-from-disk performed at construction,
+        #: or ``None`` if this shim started fresh.
+        self.recovery: RecoveryReport | None = None
+        self._interpreted_at_checkpoint = 0
+        self._last_checkpoint = None
+        if storage is not None and storage.has_data():
+            self.recovery = recover_shim_state(self)
+            self._interpreted_at_checkpoint = self.interpreter.blocks_interpreted
+            self._last_checkpoint = self.recovery.checkpoint
 
     # -- the interface of P (lines 6–9) ------------------------------------------
 
@@ -119,12 +147,59 @@ class Shim:
         self.gossip.on_receive(src, envelope)
 
     def _on_insert(self, block: Block) -> None:
+        # Write-ahead: the block is durable before any visible effect of
+        # its insertion (interpretation, indications) can happen.
+        if self.storage is not None:
+            self.storage.append_block(block)
         if self.auto_interpret:
             self.interpreter.run()
+            self._maybe_checkpoint()
 
     def interpret_now(self) -> list[IndicationEvent]:
         """Run interpretation to the current DAG frontier (off-line mode)."""
-        return self.interpreter.run()
+        events = self.interpreter.run()
+        self._maybe_checkpoint()
+        return events
+
+    # -- durability (storage subsystem) ---------------------------------------------
+
+    def checkpoint_age(self) -> int:
+        """Blocks interpreted since the last checkpoint (0 if none due)."""
+        return self.interpreter.blocks_interpreted - self._interpreted_at_checkpoint
+
+    def _maybe_checkpoint(self) -> None:
+        if self.storage is None:
+            return
+        if self.checkpoint_age() >= self.storage.config.checkpoint_interval:
+            self.checkpoint_now()
+
+    def checkpoint_now(self) -> None:
+        """Prune below the stable frontier, snapshot the interpreter,
+        persist the snapshot, and GC the WAL segments it covers.
+
+        Order matters for crash safety: states are only released if the
+        *previous* durable checkpoint held them (rule 1 of
+        :func:`repro.storage.gc.prunable_refs`), and WAL segments are
+        only dropped once the checkpoint written *now* covers their
+        skeletons — so (latest checkpoint + remaining WAL) always
+        reconstructs the full state.
+        """
+        if self.storage is None:
+            return
+        if self.storage.config.prune and self._last_checkpoint is not None:
+            durable = frozenset(self._last_checkpoint.states)
+            report = prune(self.dag, self.interpreter, durable)
+            self.storage.metrics.states_released += report.states_released
+            self.storage.metrics.payloads_dropped += report.payloads_dropped
+        checkpoint = capture_checkpoint(
+            self.storage.checkpoints.next_seq(),
+            self.interpreter,
+            self.dag,
+            owner=self.server,
+        )
+        self.storage.write_checkpoint(checkpoint)
+        self._last_checkpoint = checkpoint
+        self._interpreted_at_checkpoint = self.interpreter.blocks_interpreted
 
     # -- introspection --------------------------------------------------------------
 

@@ -1,0 +1,177 @@
+"""Per-server durable storage: WAL + checkpoints + segment GC, one facade.
+
+:class:`ServerStorage` is what the shim talks to.  It owns one
+:class:`~repro.storage.wal.WriteAheadLog` (every inserted block,
+appended as canonical bytes before the insertion takes effect) and one
+:class:`~repro.storage.checkpoint.CheckpointManager` (periodic
+interpreter snapshots), and coordinates the invariant that makes
+pruning crash-safe:
+
+    a WAL segment is deleted only when the **latest written checkpoint**
+    covers every block in it — with a full annotation (``states``) or a
+    skeleton (``skeletons``) for payload-pruned blocks.
+
+So at every instant, (latest intact checkpoint) + (remaining WAL
+suffix) reconstructs the full server state, no matter where a crash
+lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.dag import codec
+from repro.dag.block import Block
+from repro.errors import StorageError
+from repro.storage.checkpoint import Checkpoint, CheckpointManager
+from repro.storage.wal import WriteAheadLog
+from repro.types import BlockRef
+
+# Blocks must decode in a process that never encoded one.
+codec.register_dataclass(Block)
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Tunables of a server's persistence layer."""
+
+    #: Soft WAL segment capacity in bytes.
+    segment_max_bytes: int = 64 * 1024
+    #: Blocks interpreted between checkpoints.
+    checkpoint_interval: int = 32
+    #: Checkpoints kept on disk.
+    checkpoints_retained: int = 2
+    #: Whether to GC states/payloads/segments below the stable frontier.
+    prune: bool = True
+    #: fsync WAL appends (off: simulated crashes never lose the page cache).
+    fsync: bool = False
+
+
+@dataclass
+class StorageMetrics:
+    """Counters the analysis layer reports per server."""
+
+    wal_appends: int = 0
+    wal_bytes: int = 0
+    wal_segments: int = 0
+    checkpoints_written: int = 0
+    checkpoint_bytes: int = 0
+    blocks_recovered: int = 0
+    blocks_replayed: int = 0
+    states_restored: int = 0
+    states_released: int = 0
+    payloads_dropped: int = 0
+    wal_segments_dropped: int = 0
+    torn_bytes_truncated: int = 0
+
+
+class ServerStorage:
+    """All durable state of one server, rooted at ``directory``."""
+
+    def __init__(self, directory: str | Path, config: StorageConfig | None = None) -> None:
+        self.directory = Path(directory)
+        self.config = config if config is not None else StorageConfig()
+        self.wal = WriteAheadLog(
+            self.directory / "wal",
+            segment_max_bytes=self.config.segment_max_bytes,
+            fsync=self.config.fsync,
+        )
+        self.checkpoints = CheckpointManager(
+            self.directory / "checkpoints",
+            retain=self.config.checkpoints_retained,
+        )
+        self.metrics = StorageMetrics()
+
+    # -- queries -------------------------------------------------------------------
+
+    def has_data(self) -> bool:
+        """Whether anything durable exists to recover from."""
+        return self.wal.size_bytes() > 0 or bool(self.checkpoints.sequences())
+
+    def wal_size_bytes(self) -> int:
+        return self.wal.size_bytes()
+
+    def metrics_snapshot(self) -> StorageMetrics:
+        """Refresh derived fields and return the metrics record."""
+        self.metrics.wal_appends = self.wal.stats.appends
+        self.metrics.wal_bytes = self.wal.size_bytes()
+        self.metrics.wal_segments = len(self.wal.segments())
+        self.metrics.checkpoints_written = self.checkpoints.writes
+        self.metrics.checkpoint_bytes = self.checkpoints.bytes_written
+        self.metrics.torn_bytes_truncated = self.wal.stats.torn_bytes_truncated
+        self.metrics.wal_segments_dropped = self.wal.stats.segments_dropped
+        return self.metrics
+
+    # -- the write path ------------------------------------------------------------
+
+    def append_block(self, block: Block) -> None:
+        """Durably log one block (called *before* acting on the insert)."""
+        self.wal.append(codec.encode(block), ref=str(block.ref))
+
+    def write_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Persist a checkpoint, then GC WAL segments it fully covers.
+
+        The just-written file is read back and integrity-checked before
+        any segment is dropped: once those records are gone, this
+        checkpoint's skeletons are the only copy of the pruned prefix,
+        so GC must never act on a write the disk garbled.
+        """
+        self.checkpoints.write(checkpoint)
+        if self.config.prune:
+            try:
+                self.checkpoints.load(checkpoint.seq)
+            except (StorageError, OSError):
+                return  # keep the WAL; the next checkpoint retries
+            self._drop_covered_segments(checkpoint)
+
+    def _drop_covered_segments(self, checkpoint: Checkpoint) -> None:
+        """Delete non-active segments whose every record is a block the
+        checkpoint can stand in for *without replay* — i.e. pruned
+        blocks with a stored skeleton.  Blocks with live annotations
+        still need their full content from the WAL (children may read
+        their ``rs``), so only skeleton coverage counts."""
+        covered = set(checkpoint.skeletons)
+        for segment in self.wal.segments():
+            if segment.index == self.wal.active_index:
+                continue
+            if not segment.refs:
+                # A segment this handle never wrote nor replayed: its
+                # contents are unknown — keep it.
+                continue
+            if all(BlockRef(ref) in covered for ref in segment.refs):
+                self.wal.drop_segment(segment.index)
+
+    # -- the recovery path ---------------------------------------------------------
+
+    def load_blocks(self) -> list[Block]:
+        """Decode every WAL record, in append (= insertion) order.
+
+        Also re-tags segments with the refs they hold so a recovered
+        handle can make pruning decisions.
+        """
+        blocks: list[Block] = []
+        segment_refs: dict[int, list[str]] = {}
+        for index, payload in self.wal.replay():
+            value = codec.decode(payload)
+            if not isinstance(value, Block):
+                raise StorageError(
+                    f"WAL record in segment {index} decoded to "
+                    f"{type(value).__name__}, expected Block"
+                )
+            blocks.append(value)
+            segment_refs.setdefault(index, []).append(str(value.ref))
+        for segment in self.wal.segments():
+            if segment.index in segment_refs:
+                segment.refs = segment_refs[segment.index]
+        self.metrics.blocks_recovered = len(blocks)
+        return blocks
+
+    def latest_checkpoint(self) -> Checkpoint | None:
+        return self.checkpoints.latest()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Clean shutdown (crashes simply abandon the object)."""
+        self.wal.close()

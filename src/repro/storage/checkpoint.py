@@ -1,0 +1,318 @@
+"""Interpreter checkpoints — durable snapshots of ``BlockState`` at a frontier.
+
+The paper's offline-interpretation property (Lemma 4.2 / Theorem 5.1)
+makes the whole interpreter state a pure function of the DAG, so a
+crashed server *could* recover by re-interpreting everything from
+genesis.  Checkpoints trade a little disk for a lot of restart time:
+a snapshot of the interpreted set plus every still-referenceable
+block's annotations lets recovery replay only the suffix that was
+interpreted after the snapshot.
+
+A checkpoint carries:
+
+* ``refs``       — the interpreted set ``I`` at snapshot time;
+* ``states``     — per-block annotations (process instances in wire
+  form, in/out message buffers) for every block whose state the
+  interpreter still held (i.e. not pruned below the stable frontier);
+* ``active``     — the per-block active-label sets (Algorithm 2 line 7
+  inputs for future children);
+* ``released``   — refs whose states were pruned before the snapshot;
+* ``skeletons``  — ``(n, k, preds, sigma)`` for payload-pruned blocks,
+  enough to rebuild the DAG vertex (and keep its signature verifiable —
+  ``sign`` covers ``ref(B)``, which the skeleton preserves) after the
+  WAL segments holding the full blocks are deleted;
+* ``events``     — the indication history, so a recovered shim reports
+  the same ledger its user saw before the crash;
+* ``counters``   — interpreter metrics, for continuity of analysis.
+
+Files are written atomically (temp + rename) with a CRC-protected frame
+and the canonical codec — no pickle, same guarantees as the WAL.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.dag import codec
+from repro.dag.block import Block
+from repro.errors import CheckpointError
+from repro.storage.state_codec import restore_process, snapshot_process
+from repro.types import BlockRef, Label, ServerId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.dag.blockdag import BlockDag
+    from repro.interpret.interpreter import Interpreter
+    from repro.protocols.base import ProtocolSpec
+
+_FRAME = struct.Struct(">II")
+_PREFIX = "ckpt-"
+_SUFFIX = ".bin"
+
+
+@dataclass(frozen=True)
+class BlockSkeleton:
+    """Payload-free reconstruction info for a pruned block."""
+
+    n: ServerId
+    k: int
+    preds: tuple[BlockRef, ...]
+    sigma: bytes
+
+    def to_block(self, ref: BlockRef) -> Block:
+        """Rebuild the payload-pruned stub carrying its original ref."""
+        from repro.crypto.signatures import Signature
+
+        stub = Block(
+            n=self.n, k=self.k, preds=self.preds, rs=(), sigma=Signature(self.sigma)
+        )
+        # ``ref(B)`` covers the dropped ``rs``; pin the original so the
+        # stub keeps its identity (and its signature stays verifiable).
+        stub.__dict__["ref"] = ref
+        return stub
+
+
+@dataclass
+class Checkpoint:
+    """One durable snapshot of a server's interpretation progress."""
+
+    seq: int
+    refs: frozenset[BlockRef]
+    states: dict[BlockRef, dict[str, Any]]
+    active: dict[BlockRef, tuple[Label, ...]]
+    released: frozenset[BlockRef] = frozenset()
+    skeletons: dict[BlockRef, BlockSkeleton] = field(default_factory=dict)
+    events: tuple[tuple[Label, Any, ServerId, BlockRef], ...] = ()
+    counters: dict[str, int] = field(default_factory=dict)
+
+
+def capture_checkpoint(
+    seq: int,
+    interpreter: "Interpreter",
+    dag: "BlockDag",
+    owner: ServerId | None = None,
+) -> Checkpoint:
+    """Snapshot an interpreter's current state into a checkpoint.
+
+    ``owner`` bounds event-history growth: events for blocks pruned
+    below the stable frontier are dropped *except* those indicated on
+    behalf of the owning server — the user-visible ledger a recovered
+    shim must re-report.  Without pruning (or without ``owner``) the
+    full history is kept.
+    """
+    states: dict[BlockRef, dict[str, Any]] = {}
+    active: dict[BlockRef, tuple[Label, ...]] = {}
+    for ref in interpreter.interpreted:
+        if ref in interpreter.released:
+            continue
+        state = interpreter.state_of(ref)
+        buffers = state.ms.snapshot()
+        states[ref] = {
+            "pis": {
+                str(lbl): snapshot_process(pi) for lbl, pi in state.pis.items()
+            },
+            "in": {str(lbl): tuple(sorted(msgs, key=codec.encode))
+                   for lbl, msgs in buffers["in"].items()},
+            "out": {str(lbl): tuple(sorted(msgs, key=codec.encode))
+                    for lbl, msgs in buffers["out"].items()},
+        }
+        active[ref] = tuple(sorted(interpreter.active_labels(ref)))
+    skeletons = {
+        ref: BlockSkeleton(
+            n=block.n, k=block.k, preds=block.preds, sigma=bytes(block.sigma)
+        )
+        for ref in dag.pruned_payloads
+        for block in (dag.require(ref),)
+    }
+    events = tuple(
+        (event.label, event.indication, event.server, event.block_ref)
+        for event in interpreter.events
+        if event.block_ref not in interpreter.released or event.server == owner
+    )
+    return Checkpoint(
+        seq=seq,
+        refs=frozenset(interpreter.interpreted),
+        states=states,
+        active=active,
+        released=frozenset(interpreter.released),
+        skeletons=skeletons,
+        events=events,
+        counters={
+            "blocks_interpreted": interpreter.blocks_interpreted,
+            "messages_delivered": interpreter.messages_delivered,
+            "messages_materialized": interpreter.messages_materialized,
+            "request_steps": interpreter.request_steps,
+        },
+    )
+
+
+def install_checkpoint(
+    checkpoint: Checkpoint,
+    interpreter: "Interpreter",
+    protocol: "ProtocolSpec",
+) -> int:
+    """Load a checkpoint into a *fresh* interpreter.
+
+    The DAG must already contain every checkpointed ref (recovery
+    rebuilds it from skeletons + WAL first).  Returns the number of
+    block states restored.
+    """
+    from repro.interpret.instance import BlockState
+    from repro.interpret.interpreter import IndicationEvent
+
+    if interpreter.interpreted:
+        raise CheckpointError("refusing to install into a non-fresh interpreter")
+    missing = [ref for ref in checkpoint.refs if ref not in interpreter.dag]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint references {len(missing)} blocks absent from the "
+            f"rebuilt DAG (first: {missing[0][:8]}…)"
+        )
+    restored = 0
+    for ref, encoded in checkpoint.states.items():
+        state = BlockState()
+        for lbl_str, snapshot in encoded["pis"].items():
+            state.pis[Label(lbl_str)] = restore_process(
+                protocol, interpreter.servers, snapshot
+            )
+        for lbl_str, messages in encoded["in"].items():
+            state.ms.add_in(Label(lbl_str), messages)
+        for lbl_str, messages in encoded["out"].items():
+            state.ms.add_out(Label(lbl_str), messages)
+        interpreter._states[ref] = state
+        restored += 1
+    for ref, labels in checkpoint.active.items():
+        interpreter._active_labels[ref] = frozenset(Label(l) for l in labels)
+    interpreter.interpreted |= set(checkpoint.refs)
+    interpreter.released |= set(checkpoint.released)
+    interpreter.events.extend(
+        IndicationEvent(label, indication, server, block_ref)
+        for (label, indication, server, block_ref) in checkpoint.events
+    )
+    for name, value in checkpoint.counters.items():
+        setattr(interpreter, name, value)
+    return restored
+
+
+# -- persistence ---------------------------------------------------------------
+
+
+class CheckpointManager:
+    """Writes, lists and loads checkpoint files in one directory.
+
+    ``retain`` bounds disk use: after a successful write, all but the
+    newest ``retain`` checkpoints are deleted.  Writes are atomic
+    (temp file + rename), so a crash mid-checkpoint leaves the previous
+    checkpoint intact and recovery simply uses it.
+    """
+
+    def __init__(self, directory: str | Path, retain: int = 2) -> None:
+        if retain < 1:
+            raise ValueError(f"must retain at least one checkpoint, got {retain}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.retain = retain
+        self.writes = 0
+        self.bytes_written = 0
+
+    def _path(self, seq: int) -> Path:
+        return self.directory / f"{_PREFIX}{seq:08d}{_SUFFIX}"
+
+    def sequences(self) -> list[int]:
+        """Sequence numbers of stored checkpoints, oldest first."""
+        result = []
+        for path in self.directory.glob(f"{_PREFIX}*{_SUFFIX}"):
+            try:
+                result.append(int(path.name[len(_PREFIX) : -len(_SUFFIX)]))
+            except ValueError:
+                continue
+        return sorted(result)
+
+    def next_seq(self) -> int:
+        """Sequence number the next written checkpoint should carry."""
+        sequences = self.sequences()
+        return (sequences[-1] + 1) if sequences else 1
+
+    def write(self, checkpoint: Checkpoint) -> Path:
+        """Persist a checkpoint atomically; prunes old ones after."""
+        payload = codec.encode(_to_wire(checkpoint))
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        path = self._path(checkpoint.seq)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(frame)
+        tmp.replace(path)
+        self.writes += 1
+        self.bytes_written += len(frame)
+        for seq in self.sequences()[: -self.retain]:
+            self._path(seq).unlink(missing_ok=True)
+        return path
+
+    def load(self, seq: int) -> Checkpoint:
+        """Read and verify one checkpoint."""
+        data = self._path(seq).read_bytes()
+        if len(data) < _FRAME.size:
+            raise CheckpointError(f"checkpoint {seq} truncated")
+        length, crc = _FRAME.unpack_from(data, 0)
+        payload = data[_FRAME.size : _FRAME.size + length]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            raise CheckpointError(f"checkpoint {seq} failed its integrity check")
+        return _from_wire(codec.decode(payload))
+
+    def latest(self) -> Checkpoint | None:
+        """The newest *intact* checkpoint, or ``None``.
+
+        A corrupt or torn newest file (crash mid-rename is impossible,
+        but disks happen) falls back to the next-newest.
+        """
+        for seq in reversed(self.sequences()):
+            try:
+                return self.load(seq)
+            except CheckpointError:
+                continue
+        return None
+
+
+def _to_wire(checkpoint: Checkpoint) -> dict[str, Any]:
+    return {
+        "seq": checkpoint.seq,
+        "refs": sorted(checkpoint.refs),
+        "states": {str(k): v for k, v in checkpoint.states.items()},
+        "active": {str(k): tuple(str(l) for l in v) for k, v in checkpoint.active.items()},
+        "released": sorted(checkpoint.released),
+        "skeletons": {
+            str(ref): (str(s.n), s.k, tuple(str(p) for p in s.preds), s.sigma)
+            for ref, s in checkpoint.skeletons.items()
+        },
+        "events": tuple(
+            (str(label), indication, str(server), str(block_ref))
+            for (label, indication, server, block_ref) in checkpoint.events
+        ),
+        "counters": checkpoint.counters,
+    }
+
+
+def _from_wire(wire: dict[str, Any]) -> Checkpoint:
+    return Checkpoint(
+        seq=wire["seq"],
+        refs=frozenset(BlockRef(r) for r in wire["refs"]),
+        states={BlockRef(k): v for k, v in wire["states"].items()},
+        active={
+            BlockRef(k): tuple(Label(l) for l in v)
+            for k, v in wire["active"].items()
+        },
+        released=frozenset(BlockRef(r) for r in wire["released"]),
+        skeletons={
+            BlockRef(ref): BlockSkeleton(
+                n=ServerId(n), k=k, preds=tuple(BlockRef(p) for p in preds), sigma=sigma
+            )
+            for ref, (n, k, preds, sigma) in wire["skeletons"].items()
+        },
+        events=tuple(
+            (Label(label), indication, ServerId(server), BlockRef(block_ref))
+            for (label, indication, server, block_ref) in wire["events"]
+        ),
+        counters=dict(wire["counters"]),
+    )

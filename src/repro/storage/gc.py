@@ -1,0 +1,104 @@
+"""Pruning/GC — bounding memory below a fully-interpreted stable frontier.
+
+Long runs accumulate three things per block: the full block (with its
+request payload), the interpreter's ``BlockState`` annotation (process
+instances + message buffers — by far the largest), and the WAL record.
+All three are only ever needed again if some *future* block references
+the pruned block directly (Algorithm 2 reads the states and ``rs`` of a
+block's direct predecessors).
+
+The pruner therefore releases a block ``B`` only when it is provably
+past every correct server's referencing window:
+
+1. **Durable** — ``B``'s annotation is inside the latest written
+   checkpoint, so recovery never needs to recompute it.
+2. **Fully referenced** — every server in ``Srvrs`` already has a block
+   in our DAG that lists ``B`` as a direct predecessor (for ``B``'s own
+   builder the parent link counts).  A correct server references any
+   foreign block in exactly one of its own blocks (Lemma A.6), so once
+   all ``n`` referencing blocks exist, no *correct* server will ever
+   name ``B`` again.
+3. **Settled** — every current direct successor of ``B`` is itself
+   interpreted, so no in-flight interpretation still needs ``B``.
+4. **Down-closed** — all of ``B``'s predecessors are already pruned (or
+   prunable in the same pass), so the pruned region is a prefix of the
+   DAG and WAL segments can be dropped front-to-back.
+
+A byzantine server that never references ``B`` simply blocks ``B``'s
+pruning forever — GC stalls, safety never degrades.  If a byzantine
+server *does* reference a pruned block in a fresh block (impossible for
+correct servers by rule 2), interpretation of that block raises
+:class:`~repro.errors.PrunedStateError` — the below-horizon rejection
+every practical DAG-BFT GC scheme (Adelie's garbage-collection rounds,
+Lachesis epoch pruning) accepts by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.blockdag import BlockDag
+from repro.dag.traversal import topological_order
+from repro.interpret.interpreter import Interpreter
+from repro.types import BlockRef
+
+
+@dataclass
+class PruneReport:
+    """What one pruning pass released."""
+
+    states_released: int = 0
+    payloads_dropped: int = 0
+    payload_bytes_dropped: int = 0
+
+
+def prunable_refs(
+    dag: BlockDag,
+    interpreter: Interpreter,
+    durable: frozenset[BlockRef],
+) -> list[BlockRef]:
+    """Refs safe to release, in topological (prefix-first) order.
+
+    ``durable`` is the set of refs whose annotations the latest written
+    checkpoint holds (rule 1); the graph rules 2–4 are evaluated against
+    the current DAG.
+    """
+    servers = set(interpreter.servers)
+    result: list[BlockRef] = []
+    accepted: set[BlockRef] = set(interpreter.released)
+    for block in topological_order(dag):
+        ref = block.ref
+        if ref in accepted:
+            continue
+        if ref not in durable or ref not in interpreter.interpreted:
+            continue
+        successors = dag.graph.successors(ref)
+        if not all(s in interpreter.interpreted for s in successors):
+            continue
+        referencing = {dag.require(s).n for s in successors}
+        if referencing < servers:
+            continue
+        if not all(p in accepted for p in set(block.preds)):
+            continue
+        accepted.add(ref)
+        result.append(ref)
+    return result
+
+
+def prune(
+    dag: BlockDag,
+    interpreter: Interpreter,
+    durable: frozenset[BlockRef],
+) -> PruneReport:
+    """Release interpreter states and drop block payloads below the
+    stable frontier.  WAL segment dropping is the storage layer's job
+    (it needs the *next* checkpoint to cover the skeletons first)."""
+    report = PruneReport()
+    for ref in prunable_refs(dag, interpreter, durable):
+        interpreter.release_state(ref)
+        report.states_released += 1
+        freed = dag.drop_payload(ref)
+        if freed is not None:
+            report.payloads_dropped += 1
+            report.payload_bytes_dropped += freed
+    return report

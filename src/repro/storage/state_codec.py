@@ -1,0 +1,190 @@
+"""Mutability-faithful serialization of process-instance state.
+
+Checkpoints must persist the interpreter's per-block annotations —
+including live :class:`~repro.protocols.base.ProcessInstance` objects —
+and restore them so execution *continues bit-for-bit*.  The canonical
+codec alone is not enough: it deliberately canonicalizes ``set`` to
+``frozenset`` (harmless for hashing/ordering, fatal for a restored
+protocol instance that wants to ``.add()`` to its quorum sets).
+
+``freeze`` therefore rewrites a value tree into a tagged *wire form*
+that records the container kind exactly — ``set`` vs ``frozenset``,
+``list`` vs ``tuple`` — and is itself canonically encodable; ``thaw``
+inverts it.  Frozen dataclasses (messages, payloads, requests,
+indications) pass through as atoms: the codec round-trips them via its
+dataclass registry, and being frozen they never need the mutability
+distinction.
+
+No pickle anywhere: like the rest of the library, persistence is
+independent of Python memory layout, and a checkpoint written by one
+process restores in another as long as the protocol modules are
+imported (which registers their dataclasses with the codec).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.dag import codec
+from repro.errors import CheckpointError
+from repro.protocols.base import ProcessInstance, ProtocolSpec
+from repro.types import Label, ServerId
+
+# Wire-form tags.  Single characters keep encodings small; the tagged
+# pair (tag, payload) is itself codec-encodable.
+_ATOM = "a"
+_LIST = "l"
+_TUPLE = "t"
+_DICT = "d"
+_SET = "s"
+_FROZENSET = "f"
+
+
+def freeze(value: Any) -> Any:
+    """Rewrite ``value`` into the tagged, codec-encodable wire form."""
+    if isinstance(value, (list, tuple)):
+        tag = _LIST if isinstance(value, list) else _TUPLE
+        return (tag, tuple(freeze(v) for v in value))
+    if isinstance(value, dict):
+        return (
+            _DICT,
+            tuple((freeze(k), freeze(v)) for k, v in value.items()),
+        )
+    if isinstance(value, (set, frozenset)):
+        tag = _SET if isinstance(value, set) else _FROZENSET
+        # Sort by canonical encoding so equal sets freeze identically.
+        items = sorted((freeze(v) for v in value), key=codec.encode)
+        return (tag, tuple(items))
+    # Scalars and frozen dataclasses: the codec handles them natively.
+    return (_ATOM, value)
+
+
+def thaw(wire: Any) -> Any:
+    """Invert :func:`freeze`."""
+    try:
+        tag, payload = wire
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed wire form: {wire!r}") from exc
+    if tag == _ATOM:
+        return payload
+    if tag == _LIST:
+        return [thaw(v) for v in payload]
+    if tag == _TUPLE:
+        return tuple(thaw(v) for v in payload)
+    if tag == _DICT:
+        return {thaw(k): thaw(v) for k, v in payload}
+    if tag == _SET:
+        return {thaw(v) for v in payload}
+    if tag == _FROZENSET:
+        return frozenset(thaw(v) for v in payload)
+    raise CheckpointError(f"unknown wire tag: {tag!r}")
+
+
+# -- process instances ---------------------------------------------------------
+
+
+def _instance_attrs(instance: ProcessInstance) -> dict[str, Any]:
+    """All persistent attributes of a process instance (``ctx`` excluded
+    — it is reconstructed, not stored)."""
+    attrs: dict[str, Any] = {}
+    if hasattr(instance, "__dict__"):
+        attrs.update(instance.__dict__)
+    for klass in type(instance).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            if slot != "ctx" and hasattr(instance, slot):
+                attrs.setdefault(slot, getattr(instance, slot))
+    attrs.pop("ctx", None)
+    return attrs
+
+
+def snapshot_process(instance: ProcessInstance) -> dict[str, Any]:
+    """Serializable snapshot of one process instance.
+
+    Captures the class name (for a sanity check on restore), the static
+    context identity, and every attribute in frozen wire form.
+    """
+    ctx = instance.ctx
+    return {
+        "cls": type(instance).__qualname__,
+        "self_id": str(ctx.self_id),
+        "label": str(ctx.label),
+        "attrs": {
+            name: freeze(value)
+            for name, value in sorted(_instance_attrs(instance).items())
+        },
+    }
+
+
+def restore_process(
+    protocol: ProtocolSpec,
+    servers: Sequence[ServerId],
+    snapshot: dict[str, Any],
+) -> ProcessInstance:
+    """Rebuild a process instance from :func:`snapshot_process` output.
+
+    A fresh instance is created through the protocol's own factory (so
+    the context and any derived constants are rebuilt exactly as during
+    live interpretation) and its attributes are overwritten with the
+    thawed snapshot.
+    """
+    instance = protocol.create(
+        servers, ServerId(snapshot["self_id"]), Label(snapshot["label"])
+    )
+    if type(instance).__qualname__ != snapshot["cls"]:
+        raise CheckpointError(
+            f"checkpoint holds a {snapshot['cls']} instance but protocol "
+            f"{protocol.name!r} builds {type(instance).__qualname__}"
+        )
+    for name, wire in snapshot["attrs"].items():
+        setattr(instance, name, thaw(wire))
+    return instance
+
+
+def instance_fingerprint(instance: ProcessInstance) -> bytes:
+    """Canonical bytes identifying a process instance's state.
+
+    Used by the byte-identical-annotation checks: two instances with the
+    same fingerprint are behaviourally the same process state.  The raw
+    codec is canonical here (dict entries and set elements sort by their
+    encodings), so the fingerprint is independent of insertion order and
+    of the set/frozenset distinction — exactly the equivalence the
+    Lemma 4.2 assertions need.
+    """
+    return codec.encode(
+        {
+            "cls": type(instance).__qualname__,
+            "attrs": _instance_attrs(instance),
+        }
+    )
+
+
+def annotation_fingerprint(interpreter: Any, ref: Any) -> bytes:
+    """Canonical bytes for one block's full annotation — ``PIs``, ``Ms``
+    and active labels.
+
+    This is the unit of the "byte-identical annotations" claim: per
+    Lemma 4.2 every server must produce the same fingerprint for the
+    same block, and the crash-recovery tests extend that across a
+    restart-from-disk (Theorem 5.1 across a crash).
+    """
+    state = interpreter.state_of(ref)
+    return codec.encode(
+        {
+            "pis": {
+                str(lbl): instance_fingerprint(pi)
+                for lbl, pi in state.pis.items()
+            },
+            "ms": state.ms.snapshot(),
+            "active": sorted(interpreter.active_labels(ref)),
+        }
+    )
+
+
+__all__ = [
+    "annotation_fingerprint",
+    "freeze",
+    "thaw",
+    "snapshot_process",
+    "restore_process",
+    "instance_fingerprint",
+]

@@ -70,18 +70,45 @@ def max_faults(n: int) -> int:
     return (n - 1) // 3
 
 
+def _register_with_codec(cls: type) -> None:
+    """Register a marker-base subclass for codec decoding.
+
+    Registration must happen at class-definition (module-import) time,
+    not first-encode time: a process recovering from another process's
+    WAL or checkpoint decodes these classes before it ever encodes one.
+    Imported lazily — ``repro.dag`` imports this module.
+    """
+    from repro.dag.codec import register_dataclass
+
+    register_dataclass(cls)
+
+
 @dataclass(frozen=True, slots=True)
 class Request:
     """Marker base class for protocol requests (the paper's ``r ∈ Rqsts``).
 
     Concrete protocols subclass this with frozen dataclasses so requests
-    are hashable, comparable and canonically encodable.  The codec
-    registers dataclasses automatically on first encode, so requests
-    stored as bytes (the key-value substrate) decode back to the right
-    class.
+    are hashable, comparable and canonically encodable.  Subclasses
+    self-register with the codec at definition time, so requests stored
+    as bytes (the key-value substrate, the storage WAL) decode back to
+    the right class in any process that imported the protocol.
     """
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        # Explicit two-arg super: ``slots=True`` recreates the class,
+        # invalidating the ``__class__`` cell zero-arg super needs.
+        super(Request, cls).__init_subclass__(**kwargs)
+        _register_with_codec(cls)
 
 
 @dataclass(frozen=True, slots=True)
 class Indication:
-    """Marker base class for protocol indications (the paper's ``i ∈ Inds``)."""
+    """Marker base class for protocol indications (the paper's ``i ∈ Inds``).
+
+    Subclasses self-register with the codec, like :class:`Request`."""
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        # Explicit two-arg super: ``slots=True`` recreates the class,
+        # invalidating the ``__class__`` cell zero-arg super needs.
+        super(Indication, cls).__init_subclass__(**kwargs)
+        _register_with_codec(cls)

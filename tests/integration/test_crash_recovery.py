@@ -1,0 +1,317 @@
+"""CRASH — Theorem 5.1 across a crash fault.
+
+The paper's §7 observes that crash-recovery is "a great match for the
+block DAG approach": the DAG is the durable log, so a recovering party
+re-synchronizes it and continues.  With the storage subsystem the
+repro makes that executable: a :class:`CrashPlan` kills a correct
+server mid-run (all volatile state gone), restarts it from its WAL +
+checkpoint, and the run must converge to
+
+* byte-identical block annotations between the recovered server and an
+  uninterrupted peer (Lemma 4.2 across the restart), and
+* the same observable trace as an uninterrupted run of the same
+  workload (Theorem 5.1 across the crash).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.interpret.interpreter import Interpreter
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.protocols.counter import Inc, counter_protocol
+from repro.runtime.cluster import Cluster, ClusterConfig, CrashEvent, CrashPlan
+from repro.shim.shim import Shim
+from repro.runtime.compare import equivalent_traces, trace_differences
+from repro.storage.blockstore import StorageConfig
+from repro.storage.state_codec import annotation_fingerprint
+from repro.types import Label, make_servers
+
+L = Label("l")
+
+
+def crash_cluster(tmp_path, plan, protocol=brb_protocol, n=4, interval=8, prune=True):
+    config = ClusterConfig(
+        storage_dir=tmp_path,
+        storage=StorageConfig(checkpoint_interval=interval, prune=prune),
+    )
+    return Cluster(protocol, n=n, config=config, crash_plan=plan)
+
+
+def workload(cluster, count=6):
+    labels = []
+    for i in range(count):
+        lbl = Label(f"tx-{i}")
+        labels.append(lbl)
+        cluster.request(cluster.servers[i % len(cluster.servers)], lbl, Broadcast(i))
+    return labels
+
+
+def run_to_convergence(cluster, labels, max_rounds=48):
+    return cluster.run_until(
+        lambda c: not c.down
+        and c.restarts_performed == len([e for e in c.crash_plan.events if e.restart_round is not None])
+        and all(c.all_delivered(lbl) for lbl in labels)
+        and c.dags_converged(),
+        max_rounds=max_rounds,
+    )
+
+
+def shared_fingerprints(cluster, reference, other):
+    """Annotation fingerprints over all blocks both servers can still
+    serve (pruned prefixes excluded on either side)."""
+    ref_interp = cluster.shim(reference).interpreter
+    oth_interp = cluster.shim(other).interpreter
+    checked = 0
+    for block in cluster.shim(reference).dag:
+        ref = block.ref
+        if ref in ref_interp.released or ref in oth_interp.released:
+            continue
+        if ref not in oth_interp.interpreted:
+            continue
+        yield ref, annotation_fingerprint(ref_interp, ref), annotation_fingerprint(
+            oth_interp, ref
+        )
+        checked += 1
+    assert checked > 0, "no comparable blocks — test would be vacuous"
+
+
+class TestCrashRestartConvergence:
+    def test_restarted_server_annotations_byte_identical(self, tmp_path):
+        """The acceptance-criteria scenario: crash + restart-from-disk
+        of a correct server; annotations converge byte-identically."""
+        plan = CrashPlan.crash_restart("s2", crash_round=3, restart_round=6)
+        cluster = crash_cluster(tmp_path, plan)
+        labels = workload(cluster)
+        run_to_convergence(cluster, labels)
+        assert cluster.crashes_performed == 1
+        assert cluster.restarts_performed == 1
+        recovered = cluster.shim("s2")
+        assert recovered.recovery is not None
+        assert recovered.recovery.blocks_recovered > 0
+        for ref, ours, theirs in shared_fingerprints(cluster, "s1", "s2"):
+            assert ours == theirs, f"annotation mismatch at {ref[:8]}…"
+
+    def test_matches_fresh_offline_interpretation(self, tmp_path):
+        """The recovered server's annotations equal an uninterrupted,
+        from-scratch interpretation of the converged DAG — recovery is
+        indistinguishable from never having crashed."""
+        plan = CrashPlan.crash_restart("s3", crash_round=2, restart_round=5)
+        cluster = crash_cluster(tmp_path, plan, prune=False)
+        labels = workload(cluster)
+        run_to_convergence(cluster, labels)
+        recovered = cluster.shim("s3")
+        scratch = Interpreter(
+            recovered.dag, brb_protocol, cluster.servers
+        )
+        scratch.run()
+        assert scratch.interpreted == recovered.interpreter.interpreted
+        for block in recovered.dag:
+            assert annotation_fingerprint(
+                scratch, block.ref
+            ) == annotation_fingerprint(recovered.interpreter, block.ref)
+
+    def test_same_trace_as_uninterrupted_run(self, tmp_path):
+        """Observable equivalence: a crash-and-recover run delivers the
+        same per-instance indications as a run without the crash."""
+        plan = CrashPlan.crash_restart("s2", crash_round=3, restart_round=6)
+        crashed = crash_cluster(tmp_path / "crashed", plan)
+        labels = workload(crashed)
+        run_to_convergence(crashed, labels)
+
+        smooth = Cluster(brb_protocol, n=4)
+        for i, lbl in enumerate(labels):
+            smooth.request(smooth.servers[i % 4], lbl, Broadcast(i))
+        smooth.run_until(
+            lambda c: all(c.all_delivered(lbl) for lbl in labels), max_rounds=24
+        )
+        assert equivalent_traces(smooth.trace(), crashed.trace()), (
+            trace_differences(smooth.trace(), crashed.trace())
+        )
+
+    def test_recovered_indication_history_complete(self, tmp_path):
+        """The restarted server re-reports its full pre-crash ledger:
+        indications delivered before the crash come back from the
+        checkpoint + WAL replay."""
+        plan = CrashPlan.crash_restart("s1", crash_round=4, restart_round=7)
+        cluster = crash_cluster(tmp_path, plan, interval=4)
+        labels = workload(cluster)
+        run_to_convergence(cluster, labels)
+        recovered = cluster.shim("s1")
+        peer = cluster.shim("s2")
+        assert {
+            (lbl, ind.value) for lbl, ind in recovered.indications
+        } == {(lbl, ind.value) for lbl, ind in peer.indications}
+
+
+class TestRecoveryMechanics:
+    def test_checkpoint_bounds_replay(self, tmp_path):
+        """Restart replays only the suffix: with a small checkpoint
+        interval, blocks replayed ≪ blocks recovered."""
+        plan = CrashPlan.crash_restart("s2", crash_round=6, restart_round=8)
+        cluster = crash_cluster(tmp_path, plan, interval=4)
+        labels = workload(cluster, count=8)
+        run_to_convergence(cluster, labels)
+        report = cluster.shim("s2").recovery
+        assert report.checkpoint_seq is not None
+        assert report.states_restored > 0
+        assert report.blocks_replayed < report.blocks_recovered
+
+    def test_chain_resumes_without_sequence_gap(self, tmp_path):
+        """The restarted server continues its own chain with consecutive
+        sequence numbers and no equivocation (Lemma A.6 preserved)."""
+        plan = CrashPlan.crash_restart("s2", crash_round=3, restart_round=5)
+        cluster = crash_cluster(tmp_path, plan)
+        labels = workload(cluster)
+        run_to_convergence(cluster, labels)
+        view = cluster.shim("s1").dag
+        own = view.by_server("s2")
+        assert [b.k for b in own] == list(range(len(own)))
+        assert view.forks() == {}
+
+    def test_server_left_down_does_not_block_the_rest(self, tmp_path):
+        plan = CrashPlan(events=(CrashEvent("s4", crash_round=2),))
+        cluster = crash_cluster(tmp_path, plan)
+        cluster.request(cluster.servers[0], L, Broadcast("x"))
+        cluster.run_until(lambda c: c.all_delivered(L), max_rounds=24)
+        assert "s4" in cluster.down
+        assert sorted(cluster.correct_servers) == ["s1", "s2", "s3"]
+
+    def test_crash_plan_requires_storage(self):
+        with pytest.raises(Exception):
+            Cluster(
+                brb_protocol,
+                n=4,
+                crash_plan=CrashPlan.crash_restart("s1", 1, 2),
+            )
+
+    def test_double_crash_of_same_server(self, tmp_path):
+        """Crash, recover, crash again, recover again — each recovery
+        builds on the previous incarnation's log."""
+        plan = CrashPlan(
+            events=(
+                CrashEvent("s2", crash_round=2, restart_round=4),
+                CrashEvent("s2", crash_round=7, restart_round=9),
+            )
+        )
+        cluster = crash_cluster(tmp_path, plan, interval=4)
+        labels = workload(cluster)
+        run_to_convergence(cluster, labels)
+        assert cluster.crashes_performed == 2
+        assert cluster.restarts_performed == 2
+        for ref, ours, theirs in shared_fingerprints(cluster, "s1", "s2"):
+            assert ours == theirs
+
+    def test_wal_suffix_loss_trims_checkpoint_and_recovers(self, tmp_path):
+        """Without fsync an OS crash can lose a WAL suffix the newest
+        checkpoint already references; recovery trims to the maximal
+        reconstructible prefix instead of failing, and the server
+        re-fetches the lost tail over gossip."""
+        from repro.crypto.keys import KeyRing
+        from repro.net.simulator import NetworkSimulator
+        from repro.net.transport import SimTransport
+        from repro.storage.blockstore import ServerStorage
+
+        config = ClusterConfig(
+            storage_dir=tmp_path,
+            storage=StorageConfig(checkpoint_interval=4),
+        )
+        cluster = Cluster(brb_protocol, n=4, config=config)
+        labels = workload(cluster, count=4)
+        cluster.run_rounds(6)
+        original_dag = len(cluster.shim("s1").dag)
+
+        # Lose the last WAL record *and then some* — cut into the
+        # record before it, past what tail repair alone covers.
+        wal_dir = tmp_path / "s1" / "wal"
+        last = sorted(wal_dir.glob("wal-*.log"))[-1]
+        last.write_bytes(last.read_bytes()[:-5])
+
+        storage = ServerStorage(tmp_path / "s1")
+        shim = Shim(
+            "s1",
+            brb_protocol,
+            KeyRing(make_servers(4)),
+            SimTransport(NetworkSimulator(), "s1"),
+            storage=storage,
+        )
+        assert shim.recovery.refs_trimmed >= 1
+        assert len(shim.dag) < original_dag
+        assert len(shim.dag) == len(shim.interpreter.interpreted)
+
+    def test_cross_process_recovery(self, tmp_path):
+        """A genuinely separate Python process recovers from the WAL +
+        checkpoint another process left behind — nothing in the durable
+        format depends on in-process state (codec registry included)."""
+        import subprocess
+        import sys
+        import textwrap
+
+        env_src = str(Path(__file__).parent.parent.parent / "src")
+        build = textwrap.dedent(f"""
+            import os, sys
+            sys.path.insert(0, {env_src!r})
+            from repro import Cluster, ClusterConfig
+            from repro.protocols.brb import Broadcast, brb_protocol
+            from repro.storage import StorageConfig
+            from repro.types import Label
+            config = ClusterConfig(
+                storage_dir={str(tmp_path)!r},
+                storage=StorageConfig(checkpoint_interval=6),
+            )
+            cluster = Cluster(brb_protocol, n=4, config=config)
+            for i in range(4):
+                cluster.request(cluster.servers[i % 4], Label(f"t{{i}}"), Broadcast(i))
+            cluster.run_rounds(6)
+            os._exit(9)  # hard crash: no clean shutdown anywhere
+        """)
+        result = subprocess.run([sys.executable, "-c", build])
+        assert result.returncode == 9
+
+        recover = textwrap.dedent(f"""
+            import sys
+            sys.path.insert(0, {env_src!r})
+            from repro.crypto.keys import KeyRing
+            from repro.net.simulator import NetworkSimulator
+            from repro.net.transport import SimTransport
+            from repro.protocols.brb import brb_protocol
+            from repro.shim.shim import Shim
+            from repro.storage import ServerStorage
+            from repro.types import make_servers
+            servers = make_servers(4)
+            shim = Shim(
+                "s1", brb_protocol, KeyRing(servers),
+                SimTransport(NetworkSimulator(), "s1"),
+                storage=ServerStorage({str(tmp_path)!r} + "/s1"),
+            )
+            assert shim.recovery is not None
+            assert shim.recovery.blocks_recovered > 0
+            assert len(shim.dag) > 0
+            print("OK", len(shim.dag), len(shim.indications))
+        """)
+        result = subprocess.run(
+            [sys.executable, "-c", recover], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.startswith("OK")
+
+    def test_counter_protocol_totals_survive_crash(self, tmp_path):
+        plan = CrashPlan.crash_restart("s3", crash_round=3, restart_round=5)
+        cluster = crash_cluster(tmp_path, plan, protocol=counter_protocol)
+        for amount, server in zip((1, 2, 3, 4), cluster.servers):
+            cluster.request(server, L, Inc(amount))
+        cluster.run_until(
+            lambda c: not c.down
+            and c.restarts_performed == 1
+            and all(
+                shim.indications_for(L)
+                and shim.indications_for(L)[-1].value == 10
+                for shim in c.shims.values()
+            ),
+            max_rounds=32,
+        )
+        finals = {
+            s: cluster.shim(s).indications_for(L)[-1].value
+            for s in cluster.correct_servers
+        }
+        assert finals == {s: 10 for s in cluster.servers}

@@ -1,0 +1,171 @@
+"""Unit tests for interpreter checkpoints: capture, persist, install."""
+
+import pytest
+
+from helpers import ManualDagBuilder, fresh_interpreter
+from repro.errors import CheckpointError
+from repro.interpret.interpreter import Interpreter
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.protocols.counter import Inc, counter_protocol
+from repro.storage.checkpoint import (
+    CheckpointManager,
+    capture_checkpoint,
+    install_checkpoint,
+)
+from repro.storage.state_codec import (
+    annotation_fingerprint,
+    freeze,
+    restore_process,
+    snapshot_process,
+    thaw,
+)
+from repro.types import Label
+
+L = Label("l")
+
+
+def interpreted_dag(protocol=brb_protocol, rounds=3, request=Broadcast("v")):
+    builder = ManualDagBuilder(4)
+    builder.round_all(rs_for={builder.servers[0]: [(L, request)]})
+    for _ in range(rounds - 1):
+        builder.round_all()
+    interpreter = fresh_interpreter(builder, protocol)
+    interpreter.run()
+    return builder, interpreter
+
+
+class TestStateCodec:
+    def test_freeze_thaw_preserves_mutability(self):
+        value = {"senders": {"s1", "s2"}, "frozen": frozenset({1}), "seq": [1, (2, 3)]}
+        thawed = thaw(freeze(value))
+        assert thawed == value
+        assert isinstance(thawed["senders"], set)
+        assert not isinstance(thawed["senders"], frozenset)
+        assert isinstance(thawed["frozen"], frozenset)
+        assert isinstance(thawed["seq"], list)
+        assert isinstance(thawed["seq"][1], tuple)
+
+    def test_process_snapshot_roundtrip_continues_identically(self):
+        builder, interpreter = interpreted_dag()
+        ref = builder.dag.tip(builder.servers[1]).ref
+        state = interpreter.state_of(ref)
+        instance = state.pis[L]
+        snapshot = snapshot_process(instance)
+        restored = restore_process(brb_protocol, builder.servers, snapshot)
+        assert type(restored) is type(instance)
+        assert restored.ctx.self_id == instance.ctx.self_id
+        assert snapshot_process(restored) == snapshot
+
+    def test_restore_rejects_wrong_protocol(self):
+        builder, interpreter = interpreted_dag()
+        ref = builder.dag.tip(builder.servers[1]).ref
+        snapshot = snapshot_process(interpreter.state_of(ref).pis[L])
+        with pytest.raises(CheckpointError):
+            restore_process(counter_protocol, builder.servers, snapshot)
+
+
+class TestCaptureInstall:
+    def test_roundtrip_preserves_all_annotations(self, tmp_path):
+        builder, interpreter = interpreted_dag()
+        manager = CheckpointManager(tmp_path)
+        checkpoint = capture_checkpoint(1, interpreter, builder.dag)
+        manager.write(checkpoint)
+        loaded = manager.load(1)
+
+        fresh = Interpreter(builder.dag, brb_protocol, builder.servers)
+        install_checkpoint(loaded, fresh, brb_protocol)
+        assert fresh.interpreted == interpreter.interpreted
+        assert fresh.blocks_interpreted == interpreter.blocks_interpreted
+        for block in builder.dag:
+            assert annotation_fingerprint(
+                fresh, block.ref
+            ) == annotation_fingerprint(interpreter, block.ref)
+
+    def test_restored_interpreter_continues_like_the_original(self, tmp_path):
+        builder, interpreter = interpreted_dag(rounds=2)
+        manager = CheckpointManager(tmp_path)
+        manager.write(capture_checkpoint(1, interpreter, builder.dag))
+
+        fresh = Interpreter(builder.dag, brb_protocol, builder.servers)
+        install_checkpoint(manager.load(1), fresh, brb_protocol)
+        # Both interpret the same new layer; annotations must agree.
+        builder.round_all()
+        interpreter.run()
+        fresh.run()
+        for block in builder.dag:
+            assert annotation_fingerprint(
+                fresh, block.ref
+            ) == annotation_fingerprint(interpreter, block.ref)
+
+    def test_events_survive(self, tmp_path):
+        builder, interpreter = interpreted_dag(rounds=4)
+        assert interpreter.events  # BRB delivered somewhere
+        manager = CheckpointManager(tmp_path)
+        manager.write(capture_checkpoint(1, interpreter, builder.dag))
+        fresh = Interpreter(builder.dag, brb_protocol, builder.servers)
+        install_checkpoint(manager.load(1), fresh, brb_protocol)
+        assert fresh.events == interpreter.events
+
+    def test_install_refuses_nonfresh_interpreter(self, tmp_path):
+        builder, interpreter = interpreted_dag()
+        checkpoint = capture_checkpoint(1, interpreter, builder.dag)
+        with pytest.raises(CheckpointError):
+            install_checkpoint(checkpoint, interpreter, brb_protocol)
+
+    def test_install_refuses_missing_dag_blocks(self, tmp_path):
+        builder, interpreter = interpreted_dag()
+        checkpoint = capture_checkpoint(1, interpreter, builder.dag)
+        from repro.dag.blockdag import BlockDag
+
+        empty = Interpreter(BlockDag(), brb_protocol, builder.servers)
+        with pytest.raises(CheckpointError):
+            install_checkpoint(checkpoint, empty, brb_protocol)
+
+
+class TestManager:
+    def test_retention(self, tmp_path):
+        builder, interpreter = interpreted_dag()
+        manager = CheckpointManager(tmp_path, retain=2)
+        for seq in (1, 2, 3, 4):
+            manager.write(capture_checkpoint(seq, interpreter, builder.dag))
+        assert manager.sequences() == [3, 4]
+        assert manager.latest().seq == 4
+
+    def test_latest_skips_corrupt_newest(self, tmp_path):
+        builder, interpreter = interpreted_dag()
+        manager = CheckpointManager(tmp_path, retain=3)
+        manager.write(capture_checkpoint(1, interpreter, builder.dag))
+        manager.write(capture_checkpoint(2, interpreter, builder.dag))
+        newest = tmp_path / "ckpt-00000002.bin"
+        newest.write_bytes(newest.read_bytes()[:10])  # truncate
+        assert manager.latest().seq == 1
+
+    def test_latest_none_when_empty(self, tmp_path):
+        assert CheckpointManager(tmp_path).latest() is None
+
+    def test_next_seq_monotonic(self, tmp_path):
+        builder, interpreter = interpreted_dag()
+        manager = CheckpointManager(tmp_path, retain=1)
+        assert manager.next_seq() == 1
+        manager.write(capture_checkpoint(1, interpreter, builder.dag))
+        manager.write(capture_checkpoint(2, interpreter, builder.dag))
+        # Retention dropped seq 1, but numbering never goes backwards.
+        assert manager.next_seq() == 3
+
+    def test_counter_protocol_checkpoint(self, tmp_path):
+        builder = ManualDagBuilder(4)
+        builder.round_all(
+            rs_for={s: [(L, Inc(i + 1))] for i, s in enumerate(builder.servers)}
+        )
+        builder.round_all()
+        builder.round_all()
+        interpreter = fresh_interpreter(builder, counter_protocol)
+        interpreter.run()
+        manager = CheckpointManager(tmp_path)
+        manager.write(capture_checkpoint(1, interpreter, builder.dag))
+        fresh = Interpreter(builder.dag, counter_protocol, builder.servers)
+        install_checkpoint(manager.load(1), fresh, counter_protocol)
+        for block in builder.dag:
+            assert annotation_fingerprint(
+                fresh, block.ref
+            ) == annotation_fingerprint(interpreter, block.ref)

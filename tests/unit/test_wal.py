@@ -1,0 +1,136 @@
+"""Unit tests for the write-ahead log: framing, segments, crash tails."""
+
+import pytest
+
+from repro.errors import StorageError, WalCorruptionError
+from repro.storage.wal import WriteAheadLog
+
+
+def payloads(log):
+    return [p for (_, p) in log.replay()]
+
+
+class TestAppendReplay:
+    def test_roundtrip_in_order(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        records = [f"record-{i}".encode() for i in range(20)]
+        for record in records:
+            log.append(record)
+        log.close()
+        assert payloads(WriteAheadLog(tmp_path)) == records
+
+    def test_replay_on_same_handle(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        log.append(b"a")
+        log.append(b"b")
+        assert payloads(log) == [b"a", b"b"]
+
+    def test_empty_log(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        assert payloads(log) == []
+        assert log.size_bytes() == 0
+
+    def test_empty_payload_roundtrips(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        log.append(b"")
+        log.append(b"x")
+        assert payloads(log) == [b"", b"x"]
+
+    def test_stats_track_appends(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        for i in range(5):
+            log.append(b"x" * i)
+        assert log.stats.appends == 5
+        assert log.record_count() == 5
+
+
+class TestSegments:
+    def test_rolls_at_capacity(self, tmp_path):
+        log = WriteAheadLog(tmp_path, segment_max_bytes=64)
+        for i in range(10):
+            log.append(b"p" * 30)
+        assert len(log.segments()) > 1
+        # Order survives the roll.
+        assert payloads(log) == [b"p" * 30] * 10
+
+    def test_reopen_continues_last_segment(self, tmp_path):
+        log = WriteAheadLog(tmp_path, segment_max_bytes=1024)
+        log.append(b"first")
+        log.close()
+        log2 = WriteAheadLog(tmp_path, segment_max_bytes=1024)
+        log2.append(b"second")
+        assert len(log2.segments()) == 1
+        assert payloads(log2) == [b"first", b"second"]
+
+    def test_drop_segment(self, tmp_path):
+        log = WriteAheadLog(tmp_path, segment_max_bytes=40)
+        for i in range(8):
+            log.append(b"q" * 30, ref=f"r{i}")
+        segments = log.segments()
+        assert len(segments) >= 3
+        victim = segments[0].index
+        assert log.drop_segment(victim)
+        assert not log.drop_segment(victim)  # already gone
+        remaining = payloads(log)
+        assert len(remaining) == 8 - segments[0].records
+
+    def test_refuses_to_drop_active_segment(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        log.append(b"live")
+        with pytest.raises(StorageError):
+            log.drop_segment(log.active_index)
+
+    def test_ref_tagging(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        log.append(b"a", ref="ref-a")
+        log.append(b"b", ref="ref-b")
+        (segment,) = log.segments()
+        assert segment.refs == ["ref-a", "ref-b"]
+
+
+class TestCrashTails:
+    def _write(self, tmp_path, *records):
+        log = WriteAheadLog(tmp_path)
+        for record in records:
+            log.append(record)
+        log.close()
+
+    def test_torn_header_truncated_on_reopen(self, tmp_path):
+        self._write(tmp_path, b"intact-1", b"intact-2")
+        (path,) = list(tmp_path.glob("wal-*.log"))
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x00")  # half a header
+        log = WriteAheadLog(tmp_path)
+        assert payloads(log) == [b"intact-1", b"intact-2"]
+        assert log.stats.torn_bytes_truncated == 2
+
+    def test_torn_payload_truncated_on_reopen(self, tmp_path):
+        self._write(tmp_path, b"intact")
+        (path,) = list(tmp_path.glob("wal-*.log"))
+        import struct, zlib
+        torn = b"this-payload-gets-cut"
+        frame = struct.pack(">II", len(torn), zlib.crc32(torn)) + torn[:5]
+        with open(path, "ab") as handle:
+            handle.write(frame)
+        log = WriteAheadLog(tmp_path)
+        assert payloads(log) == [b"intact"]
+
+    def test_append_after_tail_repair(self, tmp_path):
+        self._write(tmp_path, b"one")
+        (path,) = list(tmp_path.glob("wal-*.log"))
+        with open(path, "ab") as handle:
+            handle.write(b"\xff")  # torn garbage
+        log = WriteAheadLog(tmp_path)
+        log.append(b"two")
+        assert payloads(log) == [b"one", b"two"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        self._write(tmp_path, b"aaaa", b"bbbb", b"cccc")
+        (path,) = list(tmp_path.glob("wal-*.log"))
+        data = bytearray(path.read_bytes())
+        # Flip a byte inside the *first* record's payload: real
+        # corruption, not a torn tail — detected already at open.
+        data[8] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(tmp_path)
