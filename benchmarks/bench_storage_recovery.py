@@ -42,8 +42,16 @@ from repro.types import Label
 
 EXPERIMENT = "STORAGE_RECOVERY"
 
-INSTANCES = 24
-ROUNDS = 40
+# Sized so the checkpoint-vs-replay comparison is meaningful: the
+# incremental interpretation scheduler (PR 2) made full re-interpretation
+# linear in DAG size with a small constant, which moved the crossover —
+# a short log with a handful of instances now re-interprets from genesis
+# faster than a checkpoint decodes.  Checkpoints exist for *long* logs
+# under *real protocol load*; measure that: enough rounds that the
+# pruned window is a small fraction of history, enough instances that
+# re-executing every block's protocol steps is the dominant replay cost.
+INSTANCES = 48
+ROUNDS = 240
 
 
 def build_durable_cluster(root: Path, storage: StorageConfig) -> Cluster:

@@ -21,7 +21,7 @@ valid and only when all predecessors are already vertices, so the
 from __future__ import annotations
 
 import enum
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, KeysView
 
 from repro.crypto.signatures import Signature
 from repro.dag.block import Block
@@ -87,16 +87,23 @@ class Validator:
             if expanded:
                 on_stack.discard(current.ref)
                 verdict = self._content_verdict(current)
+                if verdict is not Validity.INVALID and any(
+                    self._cache.get(p) is Validity.INVALID for p in current.preds
+                ):
+                    # Check (iii) needs only the *verdict* of each
+                    # predecessor, not its content: a cached-INVALID ref
+                    # condemns the block even when the predecessor's
+                    # copy is unavailable (so gossip can discard whole
+                    # buffered chains instead of chasing FWDs for a ref
+                    # it already knows is permanently invalid).
+                    verdict = Validity.INVALID
                 if verdict is Validity.VALID:
                     # All preds were pushed before us; they are resolved
                     # (else we'd have flagged pending) — consult cache.
                     for pred_ref in current.preds:
-                        pred_validity = self._cache.get(pred_ref)
-                        if pred_validity is Validity.INVALID:
-                            verdict = Validity.INVALID
-                            break
-                        if pred_validity is not Validity.VALID:
+                        if self._cache.get(pred_ref) is not Validity.VALID:
                             verdict = Validity.PENDING
+                            break
                 if verdict is Validity.PENDING:
                     pending_somewhere = True
                 else:
@@ -172,6 +179,7 @@ class BlockDag:
         self._store: dict[BlockRef, Block] = {}
         self._by_server: dict[ServerId, dict[SeqNum, list[BlockRef]]] = {}
         self._pruned_payloads: set[BlockRef] = set()
+        self._insert_listeners: list[Callable[[Block], None]] = []
 
     # -- queries --------------------------------------------------------------
 
@@ -198,9 +206,16 @@ class BlockDag:
         return block
 
     @property
-    def refs(self) -> set[BlockRef]:
-        """All block references in the DAG."""
-        return set(self._store)
+    def refs(self) -> KeysView[BlockRef]:
+        """All block references in the DAG, as a *live view*.
+
+        The view supports O(1) membership and the usual set operators
+        without copying the key set — gossip and interpretation check
+        membership on every hot-path step, so a per-call copy would be
+        O(N) each time.  Callers needing a frozen snapshot (e.g. to diff
+        against a later state) should wrap it in ``set(...)``.
+        """
+        return self._store.keys()
 
     def blocks(self) -> list[Block]:
         """All blocks, in insertion order."""
@@ -237,6 +252,26 @@ class BlockDag:
 
     # -- mutation -------------------------------------------------------------
 
+    def add_insert_listener(self, listener: Callable[[Block], None]) -> None:
+        """Subscribe to successful insertions.
+
+        Listeners fire once per *new* block, after the DAG structures
+        are updated (idempotent re-inserts do not fire).  This is how
+        the interpreter's incremental scheduler and gossip's buffered-
+        block index stay in sync with every insertion path — network
+        gossip, crash-recovery replay and hand-built test DAGs alike —
+        without each path having to thread callbacks explicitly.
+        """
+        self._insert_listeners.append(listener)
+
+    def remove_insert_listener(self, listener: Callable[[Block], None]) -> None:
+        """Unsubscribe a listener previously added; no-op if absent.
+        Safe to call from within a firing listener."""
+        try:
+            self._insert_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def insert(self, block: Block, validator: Validator | None = None) -> bool:
         """``G.insert(B)`` per Definition 3.4.
 
@@ -265,6 +300,9 @@ class BlockDag:
         self._by_server.setdefault(block.n, {}).setdefault(block.k, []).append(
             block.ref
         )
+        # Snapshot: a listener may unsubscribe itself while firing.
+        for listener in tuple(self._insert_listeners):
+            listener(block)
         return True
 
     # -- pruning (storage subsystem GC) -----------------------------------------
@@ -342,7 +380,10 @@ class BlockDag:
         return result
 
     def copy(self) -> "BlockDag":
-        """An independent copy (blocks are immutable and shared)."""
+        """An independent copy (blocks are immutable and shared).
+
+        Insert listeners are deliberately *not* copied: they belong to
+        the interpreter/gossip instances attached to the original."""
         result = BlockDag()
         result.graph = self.graph.copy()
         result._store = dict(self._store)

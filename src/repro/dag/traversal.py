@@ -10,7 +10,7 @@ and check schedule-independence).
 
 from __future__ import annotations
 
-from collections import deque
+import heapq
 from typing import Callable, Iterable
 
 from repro.dag.block import Block
@@ -24,6 +24,11 @@ def eligible_frontier(dag: BlockDag, interpreted: set[BlockRef]) -> list[Block]:
 
     Returned in canonical (reference) order so callers that just take
     the first element get a deterministic schedule.
+
+    This scans the whole DAG — O(N) per call.  The interpreter's
+    incremental ready-queue scheduler replaces it on the hot path; this
+    function survives as the specification-shaped oracle that property
+    tests compare the scheduler against (``incremental=False`` mode).
     """
     frontier = [
         block
@@ -41,8 +46,13 @@ def topological_order(
 ) -> list[Block]:
     """A topological order of the whole DAG (Kahn's algorithm).
 
-    ``tie_break`` orders blocks that become available simultaneously;
-    the default orders by reference, making the result canonical.
+    ``tie_break`` orders blocks that become available simultaneously
+    (ties broken by reference); the default orders by reference alone,
+    making the result *canonical*: at every step the emitted block is
+    the smallest-keyed block among **all** blocks whose predecessors
+    have been emitted.  A heap enforces this globally — sorting each
+    batch of newly available blocks before appending to a FIFO queue
+    would interleave batches and break the claim across branches.
     Every result is a legal interpretation schedule, and by Lemma 4.2
     they all produce the same interpretation state.
     """
@@ -50,22 +60,21 @@ def topological_order(
     in_degree: dict[BlockRef, int] = {}
     for block in dag:
         in_degree[block.ref] = len(set(block.preds))
-    ready = sorted(
-        (block for block in dag if in_degree[block.ref] == 0),
-        key=key,
-    )
-    queue = deque(ready)
+    heap = [
+        (key(block), block.ref)
+        for block in dag
+        if in_degree[block.ref] == 0
+    ]
+    heapq.heapify(heap)
     result: list[Block] = []
-    while queue:
-        block = queue.popleft()
+    while heap:
+        _, ref = heapq.heappop(heap)
+        block = dag.require(ref)
         result.append(block)
-        newly_ready = []
-        for succ_ref in dag.graph.successors(block.ref):
+        for succ_ref in dag.graph.successors(ref):
             in_degree[succ_ref] -= 1
             if in_degree[succ_ref] == 0:
-                newly_ready.append(dag.require(succ_ref))
-        for succ in sorted(newly_ready, key=key):
-            queue.append(succ)
+                heapq.heappush(heap, (key(dag.require(succ_ref)), succ_ref))
     return result
 
 

@@ -7,10 +7,14 @@ block ``B`` (a :class:`~repro.dag.block.BlockBuilder`), and the buffer
 the pseudocode's ``when`` clauses, one method each:
 
 * lines 4–5   → :meth:`Gossip.on_receive` (block case) buffers new blocks;
-* lines 6–9   → :meth:`Gossip._drain` validates buffered blocks, inserts
-  them into ``G`` and appends their references to ``B``;
-* lines 10–11 → :meth:`Gossip._request_missing` sends ``FWD`` requests
-  for unknown predecessors to the buffered block's builder;
+* lines 6–9   → :meth:`Gossip._try_admit` validates a buffered block and
+  inserts it into ``G``, appending its reference to ``B``; blocks that
+  cannot be admitted yet are indexed by the predecessor they are
+  missing, and every insertion drains exactly the chains it unblocked
+  (no fixpoint rescan of the whole buffer per arrival);
+* lines 10–11 → :meth:`Gossip._request_missing_for` sends ``FWD``
+  requests for a newly buffered block's unknown predecessors to its
+  builder (retries ride the pacing timer);
 * lines 12–13 → :meth:`Gossip.on_receive` (FWD case) answers with the
   full block;
 * lines 14–18 → :meth:`Gossip.disseminate` seals the current block,
@@ -24,6 +28,7 @@ incremental interpretation.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Sequence  # noqa: F401 - Sequence used in signatures
 
@@ -105,12 +110,22 @@ class Gossip:
         self.on_insert = on_insert
         self.builder = BlockBuilder(server)
         self.blks: dict[BlockRef, Block] = {}
+        #: Buffered blocks indexed by the predecessor they wait for:
+        #: ``missing ref -> refs of buffered blocks listing it``.  Lists
+        #: (not sets) keep drain order deterministic across runs; dead
+        #: entries are dropped lazily.
+        self._waiting: dict[BlockRef, list[BlockRef]] = {}
+        self._unblocked: deque[BlockRef] = deque()
+        self._draining = False
         self.metrics = GossipMetrics()
         self.validator = Validator(verify=keyring.verify, resolve=self._resolve)
         self.forwarding = ForwardingState(
             retry_interval=self.config.fwd_retry_interval,
             max_attempts=self.config.fwd_max_attempts,
         )
+        # Any insertion — own sealed blocks included — may unblock
+        # buffered descendants; the listener drains exactly those.
+        self.dag.add_insert_listener(self._on_dag_insert)
 
     def _resolve(self, ref: BlockRef) -> Block | None:
         """Blocks are visible to validation from ``G`` or the buffer."""
@@ -146,8 +161,14 @@ class Gossip:
         self.metrics.buffered_high_water = max(
             self.metrics.buffered_high_water, len(self.blks)
         )
-        self._drain()
-        self._request_missing()
+        self._try_admit(block)  # cascades through _on_dag_insert
+        if block.ref in self.blks:
+            # Still buffered: chase only *this* block's missing preds —
+            # every other buffered block already requested its own on
+            # arrival, and _retry_forwarding re-issues on the timer.
+            # (A full-index sweep here would make an out-of-order flood
+            # quadratic again.)
+            self._request_missing_for(block)
 
     def _on_fwd_request(self, src: ServerId, ref: BlockRef) -> None:
         # Lines 12–13: answer only from G.  (A correct server is only
@@ -165,54 +186,102 @@ class Gossip:
 
     # -- validation & insertion (lines 6–9) -------------------------------------
 
-    def _drain(self) -> None:
-        """Move every buffered block that became valid into ``G``.
+    def _try_admit(self, block: Block) -> bool:
+        """Try to move one buffered block into ``G`` (lines 6–9).
 
-        A single arrival can unblock a chain of buffered descendants,
-        hence the fixpoint loop.  Permanently invalid blocks are
-        discarded."""
-        progress = True
-        while progress:
-            progress = False
-            for ref in list(self.blks):
-                block = self.blks.get(ref)
-                if block is None:
-                    continue
-                verdict = self.validator.validity(block)
-                if verdict is Validity.INVALID:
-                    del self.blks[ref]
-                    self.metrics.invalid_blocks += 1
-                    progress = True
-                elif verdict is Validity.VALID and all(
-                    p in self.dag.refs for p in block.preds
-                ):
-                    self._insert(block)  # line 7
-                    del self.blks[ref]  # line 9
-                    progress = True
+        Returns ``True`` when the block left the buffer — inserted, or
+        discarded as permanently invalid.  Otherwise the block is
+        registered in the missing-predecessor index under every direct
+        predecessor not yet in ``G`` and will be retried exactly when
+        one of them is inserted (or discarded, which condemns it too).
+        """
+        verdict = self.validator.validity(block)
+        if verdict is Validity.INVALID:
+            del self.blks[block.ref]
+            self.metrics.invalid_blocks += 1
+            # Waiters on this ref must be re-checked: with the INVALID
+            # verdict now cached they are invalid themselves (Def. 3.3
+            # (iii)) and get discarded by the same cascade.
+            self._queue_unblocked(block.ref)
+            return True
+        missing = [p for p in dict.fromkeys(block.preds) if p not in self.dag]
+        if verdict is Validity.VALID and not missing:
+            self._insert(block)  # line 7 (listener drains waiters)
+            del self.blks[block.ref]  # line 9
+            return True
+        for ref in missing:
+            bucket = self._waiting.setdefault(ref, [])
+            if block.ref not in bucket:
+                bucket.append(block.ref)
+        return False
+
+    def _on_dag_insert(self, block: Block) -> None:
+        """DAG insert listener: drain the chains this insertion unblocked."""
+        self._queue_unblocked(block.ref)
+
+    def _queue_unblocked(self, ref: BlockRef) -> None:
+        """Re-admit the buffered blocks waiting on ``ref``.
+
+        Iterative worklist with a re-entrancy guard: admissions insert
+        into the DAG, which fires :meth:`_on_dag_insert` again — nested
+        calls only enqueue, so arbitrarily long buffered chains drain
+        without recursion.  Total work is O(blocks drained), not
+        O(buffer size) per arrival."""
+        self._unblocked.append(ref)
+        self._pump_unblocked()
+
+    def _pump_unblocked(self) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._unblocked:
+                settled = self._unblocked.popleft()
+                for waiter_ref in self._waiting.pop(settled, ()):
+                    waiter = self.blks.get(waiter_ref)
+                    if waiter is not None:
+                        self._try_admit(waiter)
+        finally:
+            self._draining = False
 
     def _insert(self, block: Block) -> None:
-        inserted = self.dag.insert(block)
-        if not inserted:
-            return
-        self.metrics.blocks_inserted += 1
-        if block.n != self.server:
-            # Line 8: reference every newly validated foreign block in
-            # our own next block; own blocks already chain via parent.
-            self.builder.add_pred(block.ref)
-        if self.on_insert is not None:
-            self.on_insert(block)
+        # The guard spans the whole insertion — the DAG listener fires
+        # mid-``dag.insert`` and must only *enqueue* unblocked waiters,
+        # never admit them before this block finished its own
+        # ``on_insert`` (the shim's WAL append: admitting a descendant
+        # first would write the WAL out of topological order and break
+        # recovery replay).  The pump below drains in FIFO order, so
+        # chains land in the log predecessors-first.
+        was_draining = self._draining
+        self._draining = True
+        try:
+            inserted = self.dag.insert(block)
+            if not inserted:
+                return
+            self.metrics.blocks_inserted += 1
+            if block.n != self.server:
+                # Line 8: reference every newly validated foreign block in
+                # our own next block; own blocks already chain via parent.
+                self.builder.add_pred(block.ref)
+            if self.on_insert is not None:
+                self.on_insert(block)
+        finally:
+            self._draining = was_draining
+        self._pump_unblocked()
 
     # -- forwarding (lines 10–11) -------------------------------------------------
 
-    def _request_missing(self) -> None:
-        """Ask builders of buffered blocks for predecessors we lack."""
+    def _request_missing_for(self, block: Block) -> None:
+        """FWD-chase one buffered block's unresolved predecessors
+        (lines 10–11): O(|preds|), run once at arrival.  Re-issues are
+        the retry timer's job (:meth:`_retry_forwarding`), so no caller
+        ever sweeps the whole missing-predecessor index."""
         now = self.transport.now
-        for block in list(self.blks.values()):
-            for pred_ref in block.preds:
-                if pred_ref in self.dag.refs or pred_ref in self.blks:
-                    continue
-                if self.forwarding.want(pred_ref, block.n, now):
-                    self._send_fwd(pred_ref, block.n)
+        for pred_ref in dict.fromkeys(block.preds):
+            if pred_ref in self.dag or pred_ref in self.blks:
+                continue
+            if self.forwarding.want(pred_ref, block.n, now):
+                self._send_fwd(pred_ref, block.n)
 
     def _send_fwd(self, ref: BlockRef, target: ServerId) -> None:
         self.metrics.fwd_requests_sent += 1
@@ -222,12 +291,23 @@ class Gossip:
         )
 
     def _retry_forwarding(self) -> None:
-        """Timer callback re-issuing FWDs whose pacing interval expired."""
+        """Timer callback re-issuing FWDs whose pacing interval expired.
+
+        Also the index janitor: a chased ref whose waiters have all
+        left the buffer (condemned by the INVALID cascade, typically)
+        is dropped from both the index and the forwarding state instead
+        of being re-requested forever for nobody."""
         now = self.transport.now
         for ref, target in self.forwarding.due(now):
-            if ref in self.dag.refs or ref in self.blks:
+            if ref in self.dag or ref in self.blks:
                 self.forwarding.satisfied(ref)
                 continue
+            waiters = [w for w in self._waiting.get(ref, ()) if w in self.blks]
+            if not waiters:
+                self._waiting.pop(ref, None)
+                self.forwarding.satisfied(ref)
+                continue
+            self._waiting[ref] = waiters
             if self.forwarding.want(ref, target, now):
                 self._send_fwd(ref, target)
 

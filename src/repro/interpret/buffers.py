@@ -46,6 +46,14 @@ class MessageBuffers:
         """``Ms[out, ℓ]`` ordered by ``<_M`` (for line 9 at successor blocks)."""
         return ordered(self._out.get(label, ()))
 
+    def outgoing_set(self, label: Label) -> Iterable[Message]:
+        """``Ms[out, ℓ]`` unordered — the line 9 gather at successor
+        blocks unions these into a set and sorts *once* at line 10, so
+        pre-sorting here (which encodes every message for its ``<_M``
+        key) would be pure hot-path waste.  Callers must not mutate the
+        returned collection."""
+        return self._out.get(label, ())
+
     def outgoing_for(self, label: Label, receiver: object) -> list[Message]:
         """``{m ∈ Ms[out, ℓ] | m.receiver = receiver}`` — the line 9 filter."""
         return [m for m in self.outgoing(label) if m.receiver == receiver]

@@ -21,6 +21,17 @@ of eligible blocks is irrelevant and any two servers annotate every
 block identically.  Tests exercise this directly by permuting
 schedules.
 
+Eligibility is tracked **incrementally**: the interpreter keeps a
+pending-in-degree count per uninterpreted block (how many distinct
+predecessors are still uninterpreted) and a ready queue of blocks whose
+count has dropped to zero.  Inserting a block costs O(|preds|);
+interpreting one costs O(out-degree) scheduler work — so steady-state
+gossip does O(edges) total scheduling instead of rescanning the whole
+DAG per insertion.  The original scan-the-world frontier
+(:func:`~repro.dag.traversal.eligible_frontier`) survives behind
+``incremental=False`` as a debug/verification mode; property tests
+assert both modes produce byte-identical annotations.
+
 State copying is copy-on-write at process-instance granularity: block
 states share untouched instances with their ancestors, and an instance
 is deep-copied the first time a given block steps it.  Observable
@@ -33,6 +44,8 @@ each copy before stepping.
 from __future__ import annotations
 
 import copy
+import heapq
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -83,6 +96,14 @@ class Interpreter:
         for each of them).
     on_indication:
         Optional callback fired for every indication event, in order.
+    incremental:
+        ``True`` (default) uses the event-driven ready-queue scheduler:
+        blocks already in ``dag`` are indexed at construction and every
+        later insertion is picked up through the DAG's insert-listener
+        hook.  ``False`` falls back to rescanning the whole DAG for the
+        eligible frontier on every :meth:`eligible` call — the original
+        (O(N) per interpreted block) behavior, kept as a verification
+        oracle for tests and benchmarks.
     """
 
     def __init__(
@@ -91,11 +112,13 @@ class Interpreter:
         protocol: ProtocolSpec,
         servers: Sequence[ServerId],
         on_indication: Callable[[IndicationEvent], None] | None = None,
+        incremental: bool = True,
     ) -> None:
         self.dag = dag
         self.protocol = protocol
         self.servers = tuple(servers)
         self.on_indication = on_indication
+        self.incremental = incremental
         self.interpreted: set[BlockRef] = set()
         #: Refs whose states were pruned below the stable frontier; they
         #: stay in ``interpreted`` but their annotations are gone.
@@ -103,20 +126,54 @@ class Interpreter:
         self.events: list[IndicationEvent] = []
         self._states: dict[BlockRef, BlockState] = {}
         self._active_labels: dict[BlockRef, frozenset[Label]] = {}
+        # Incremental scheduler state (unused when incremental=False):
+        # per-uninterpreted-block count of uninterpreted distinct preds,
+        # the ready set plus a canonical-order heap over it (stale heap
+        # entries are skipped lazily), and the refs known to either side.
+        self._pending: dict[BlockRef, int] = {}
+        self._ready: set[BlockRef] = set()
+        self._ready_heap: list[BlockRef] = []
+        self._tracked: set[BlockRef] = set()
+        #: Blocks permanently uninterpretable because a direct
+        #: predecessor's state was pruned (see :meth:`eligible`).
+        self._horizon: set[BlockRef] = set()
         # Metrics backing the compression experiments (CLM-COMPRESS).
         self.blocks_interpreted = 0
         self.messages_delivered = 0
         self.messages_materialized = 0
         self.request_steps = 0
-        #: Blocks permanently uninterpretable because a predecessor's
-        #: state was pruned (see :meth:`eligible`).
-        self.below_horizon = 0
+        if incremental:
+            self.resync_schedule()
+            # Register weakly: throwaway interpreters built over a
+            # long-lived DAG (offline verification, analysis) must not
+            # be kept alive by the DAG's listener list.  The wrapper
+            # unsubscribes itself once its interpreter is collected.
+            self_ref = weakref.ref(self)
+
+            def _forward(block: Block) -> None:
+                interpreter = self_ref()
+                if interpreter is not None:
+                    interpreter.notify_inserted(block)
+                else:
+                    dag.remove_insert_listener(_forward)
+
+            dag.add_insert_listener(_forward)
 
     # -- queries ------------------------------------------------------------
 
     def is_interpreted(self, ref: BlockRef) -> bool:
         """``I[B]`` of Algorithm 2 line 2."""
         return ref in self.interpreted
+
+    @property
+    def below_horizon(self) -> int:
+        """Distinct blocks permanently uninterpretable because a direct
+        predecessor's annotation was pruned below the stable frontier.
+
+        Tracked as a set rather than recomputed per call, so the count
+        is stable across repeated :meth:`eligible` calls and does not
+        decay to garbage once pruning stops."""
+        return len(self._horizon)
 
     def state_of(self, ref: BlockRef) -> BlockState:
         """The ``PIs``/``Ms`` annotation of an interpreted block."""
@@ -130,7 +187,8 @@ class Interpreter:
         return state
 
     def eligible(self) -> list[Block]:
-        """Blocks currently satisfying ``eligible(B)`` (line 3).
+        """Blocks currently satisfying ``eligible(B)`` (line 3), in
+        canonical (reference) order.
 
         A block whose direct predecessor was pruned below the stable
         frontier can never be interpreted (its inputs are gone); such
@@ -138,14 +196,22 @@ class Interpreter:
         full-reference rule holds — are excluded rather than raised on,
         and counted in :attr:`below_horizon`.
         """
+        if self.incremental:
+            # The ready set *is* the eligible frontier: pruned-pred
+            # blocks were diverted to the horizon at ready time.
+            return sorted(
+                (self.dag.require(ref) for ref in self._ready),
+                key=lambda b: b.ref,
+            )
         frontier = eligible_frontier(self.dag, self.interpreted)
         if not self.released:
             return frontier
-        usable = [
-            b for b in frontier
-            if not any(p in self.released for p in b.preds)
-        ]
-        self.below_horizon = len(frontier) - len(usable)
+        usable = []
+        for block in frontier:
+            if any(p in self.released for p in block.preds):
+                self._horizon.add(block.ref)
+            else:
+                usable.append(block)
         return usable
 
     def active_labels(self, ref: BlockRef) -> frozenset[Label]:
@@ -159,6 +225,75 @@ class Interpreter:
                 )
             raise SimulationError(f"block not interpreted yet: {ref[:8]}…")
         return labels
+
+    # -- incremental scheduling ------------------------------------------------
+
+    def notify_inserted(self, block: Block) -> None:
+        """Index a newly inserted block (registered as a DAG insert
+        listener in incremental mode).
+
+        O(|preds|): counts the block's uninterpreted distinct
+        predecessors; a count of zero sends it straight to the ready
+        queue (or to the below-horizon set if a predecessor's state was
+        already pruned)."""
+        if self.incremental:
+            self._track(block)
+
+    def resync_schedule(self) -> None:
+        """Rebuild the scheduler's pending/ready structures from the
+        DAG and the current ``interpreted`` set.
+
+        Needed when the interpreted set changes outside
+        :meth:`interpret_block` — installing a recovery checkpoint marks
+        a whole prefix interpreted at once, invalidating the pending
+        counts computed while the DAG was being rebuilt.  One O(N + E)
+        pass; a no-op in rescan mode."""
+        self._pending.clear()
+        self._ready.clear()
+        self._ready_heap.clear()
+        self._tracked.clear()
+        self._horizon.clear()
+        if not self.incremental:
+            return
+        for block in self.dag:
+            self._track(block)
+
+    def _track(self, block: Block) -> None:
+        ref = block.ref
+        if ref in self._tracked:
+            return
+        self._tracked.add(ref)
+        if ref in self.interpreted:
+            return
+        missing = sum(1 for p in set(block.preds) if p not in self.interpreted)
+        if missing:
+            self._pending[ref] = missing
+        else:
+            self._make_ready(block)
+
+    def _make_ready(self, block: Block) -> None:
+        """All predecessors interpreted: queue for interpretation, or
+        divert below the horizon when a predecessor's state is gone."""
+        if any(p in self.released for p in block.preds):
+            self._horizon.add(block.ref)
+        else:
+            self._ready.add(block.ref)
+            heapq.heappush(self._ready_heap, block.ref)
+
+    def _on_interpreted(self, ref: BlockRef) -> None:
+        """Propagate one interpretation to the ready queue: O(out-degree)."""
+        self._tracked.add(ref)
+        self._ready.discard(ref)
+        self._pending.pop(ref, None)
+        for succ_ref in self.dag.graph.successors(ref):
+            count = self._pending.get(succ_ref)
+            if count is None:
+                continue
+            if count > 1:
+                self._pending[succ_ref] = count - 1
+            else:
+                del self._pending[succ_ref]
+                self._make_ready(self.dag.require(succ_ref))
 
     # -- pruning (storage subsystem) -------------------------------------------
 
@@ -175,6 +310,15 @@ class Interpreter:
         self._states.pop(ref, None)
         self._active_labels.pop(ref, None)
         self.released.add(ref)
+        if self.incremental:
+            # Any already-ready successor lost an input it would read;
+            # divert it below the horizon (its stale heap entry is
+            # skipped lazily).  Pending successors are checked against
+            # ``released`` when they become ready.
+            for succ_ref in self.dag.graph.successors(ref):
+                if succ_ref in self._ready:
+                    self._ready.discard(succ_ref)
+                    self._horizon.add(succ_ref)
 
     # -- execution ------------------------------------------------------------
 
@@ -187,6 +331,23 @@ class Interpreter:
         verify that.
         """
         start = len(self.events)
+        if self.incremental and choose is None:
+            # Hot path: pop the canonically smallest ready ref straight
+            # off the heap — the exact schedule the frontier rescan
+            # produced (it always picked the smallest eligible ref),
+            # without materializing the frontier each step.
+            while self._ready:
+                ref = heapq.heappop(self._ready_heap)
+                if ref not in self._ready:
+                    continue  # stale: interpreted or diverted meanwhile
+                try:
+                    self.interpret_block(self.dag.require(ref))
+                except BaseException:
+                    # Keep heap ⊇ ready even when a protocol step blows
+                    # up mid-run, so a later run() still sees the block.
+                    heapq.heappush(self._ready_heap, ref)
+                    raise
+            return self.events[start:]
         while True:
             frontier = self.eligible()
             if not frontier:
@@ -199,7 +360,7 @@ class Interpreter:
         """Interpret one eligible block (Algorithm 2 lines 4–14)."""
         if block.ref in self.interpreted:
             raise SimulationError(f"block already interpreted: {block!r}")
-        if block.ref not in self.dag.refs:
+        if block.ref not in self.dag:
             raise SimulationError(f"block not in DAG: {block!r}")
         preds = self.dag.predecessors(block)
         missing = [p for p in preds if p.ref not in self.interpreted]
@@ -237,23 +398,27 @@ class Interpreter:
                 self._emit(block, request_label, result.indications)
             )
 
-        # Line 7: labels with a request strictly in the past.
-        active = frozenset().union(
-            *(
-                self._active_labels[p.ref] | {lbl for (lbl, _) in p.rs}
-                for p in preds
-            )
-        ) if preds else frozenset()
+        # Line 7: labels with a request strictly in the past.  One
+        # mutable accumulator instead of per-predecessor temporaries —
+        # this runs for every block, on the hottest path there is.
+        gathered: set[Label] = set()
+        for p in preds:
+            gathered.update(self._active_labels[p.ref])
+            for lbl, _ in p.rs:
+                gathered.add(lbl)
+        active = frozenset(gathered)
 
+        pred_states = [self._states[p.ref] for p in preds]
         for message_label in sorted(active):
             # Lines 8–9: gather messages addressed to B.n from direct
-            # predecessors' out-buffers.
+            # predecessors' out-buffers.  The union is unordered here;
+            # <_M is applied once below (line 10), so the raw sets are
+            # read without paying for a per-predecessor sort.
             incoming: set[Message] = set()
-            for pred in preds:
-                pred_state = self._states[pred.ref]
+            for pred_state in pred_states:
                 incoming.update(
                     m
-                    for m in pred_state.ms.outgoing(message_label)
+                    for m in pred_state.ms.outgoing_set(message_label)
                     if m.receiver == block.n
                 )
             if not incoming:
@@ -280,6 +445,8 @@ class Interpreter:
         self._active_labels[block.ref] = active
         self.interpreted.add(block.ref)
         self.blocks_interpreted += 1
+        if self.incremental:
+            self._on_interpreted(block.ref)
         return new_events
 
     # -- internals ------------------------------------------------------------

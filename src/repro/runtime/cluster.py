@@ -327,9 +327,14 @@ class Cluster:
     # -- observations ------------------------------------------------------------
 
     def dags_converged(self) -> bool:
-        """Whether all correct servers hold identical DAGs (the joint
-        block DAG of Lemma 3.7, reached)."""
+        """Whether all live correct servers hold identical DAGs (the
+        joint block DAG of Lemma 3.7, reached).
+
+        With zero or one live correct server — e.g. mid-``CrashPlan``
+        with every correct seat down — convergence holds vacuously."""
         views = [shim.dag.refs for shim in self.shims.values()]
+        if len(views) <= 1:
+            return True
         return all(view == views[0] for view in views[1:])
 
     def all_delivered(self, label: Label, minimum: int = 1) -> bool:
@@ -349,9 +354,10 @@ class Cluster:
         return trace
 
     def total_blocks(self) -> int:
-        """Blocks in the (first) correct server's DAG."""
-        first = next(iter(self.shims.values()))
-        return len(first.dag)
+        """Blocks in the (first) live correct server's DAG (0 when all
+        correct servers are down)."""
+        first = next(iter(self.shims.values()), None)
+        return 0 if first is None else len(first.dag)
 
     def interpreter_metrics(self) -> dict[str, int]:
         """Aggregated interpretation counters across correct servers."""

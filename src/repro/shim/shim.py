@@ -58,8 +58,11 @@ class Shim:
         :attr:`indications`.
     auto_interpret:
         When ``True`` (default) the interpreter runs after every DAG
-        insertion.  ``False`` decouples building from interpretation —
-        the off-line mode of experiment CLM-OFFLINE; call
+        insertion.  The interpreter's incremental ready-queue scheduler
+        makes each such run O(newly eligible work), not a DAG rescan —
+        steady-state gossip interprets in amortized O(out-degree) per
+        block.  ``False`` decouples building from interpretation — the
+        off-line mode of experiment CLM-OFFLINE; call
         :meth:`interpret_now` explicitly.
     storage:
         Optional :class:`~repro.storage.blockstore.ServerStorage`.

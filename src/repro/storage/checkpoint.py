@@ -194,6 +194,11 @@ def install_checkpoint(
     )
     for name, value in checkpoint.counters.items():
         setattr(interpreter, name, value)
+    # The interpreted set just grew behind the scheduler's back: pending
+    # in-degree counts computed while the DAG was being rebuilt are now
+    # stale.  One linear resync and the ready queue holds exactly the
+    # post-checkpoint suffix (incremental mode; no-op otherwise).
+    interpreter.resync_schedule()
     return restored
 
 

@@ -24,6 +24,7 @@ an uninterrupted peer's.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -153,33 +154,47 @@ def _trim_to_available(
 
 def _insert_skeletons(shim: "Shim", checkpoint: Checkpoint) -> int:
     """Insert payload-pruned stubs, topologically ordered among
-    themselves (the pruned region is down-closed by construction)."""
+    themselves (the pruned region is down-closed by construction).
+
+    Kahn worklist over the skeleton subgraph — O(skeletons + edges),
+    matching the interpreter's incremental scheduler, instead of a
+    fixpoint rescan of the remaining set per inserted stub."""
     skeletons = checkpoint.skeletons
-    remaining = dict(skeletons)
+    pending: dict[BlockRef, int] = {}
+    waiters: dict[BlockRef, list[BlockRef]] = {}
+    ready: deque[BlockRef] = deque()
+    for ref, skeleton in skeletons.items():
+        blocking = 0
+        for pred in dict.fromkeys(skeleton.preds):
+            if pred in shim.dag:
+                continue
+            if pred not in skeletons:
+                raise StorageError(
+                    f"checkpoint skeleton {ref[:8]}… has a predecessor "
+                    f"outside the pruned region and outside the DAG"
+                )
+            blocking += 1
+            waiters.setdefault(pred, []).append(ref)
+        if blocking:
+            pending[ref] = blocking
+        else:
+            ready.append(ref)
     inserted = 0
-    while remaining:
-        progress = False
-        for ref in list(remaining):
-            skeleton = remaining[ref]
-            if all(
-                p in shim.dag or p not in skeletons
-                for p in skeleton.preds
-            ):
-                if any(p not in shim.dag for p in skeleton.preds):
-                    raise StorageError(
-                        f"checkpoint skeleton {ref[:8]}… has a predecessor "
-                        f"outside the pruned region and outside the DAG"
-                    )
-                shim.dag.insert(skeleton.to_block(ref))
-                shim.dag.drop_payload(ref)
-                del remaining[ref]
-                inserted += 1
-                progress = True
-        if not progress:
-            raise StorageError(
-                f"checkpoint skeletons are not down-closed: "
-                f"{len(remaining)} unresolvable"
-            )
+    while ready:
+        ref = ready.popleft()
+        shim.dag.insert(skeletons[ref].to_block(ref))
+        shim.dag.drop_payload(ref)
+        inserted += 1
+        for waiter in waiters.pop(ref, ()):
+            pending[waiter] -= 1
+            if pending[waiter] == 0:
+                del pending[waiter]
+                ready.append(waiter)
+    if pending:
+        raise StorageError(
+            f"checkpoint skeletons are not down-closed: "
+            f"{len(pending)} unresolvable"
+        )
     return inserted
 
 

@@ -145,6 +145,45 @@ class TestCrashRestartConvergence:
 
 
 class TestRecoveryMechanics:
+    def test_wal_topological_after_out_of_order_arrival(self, tmp_path):
+        """Blocks delivered child-before-parent (routine under network
+        reordering / FWD chasing) must land in the WAL in topological
+        order — recovery replays it with ``dag.insert``, which rejects
+        a child whose parent has not been replayed yet.  Regression
+        test for the buffered-chain drain admitting a descendant before
+        the unblocking block's own WAL append ran."""
+        from repro.crypto.keys import KeyRing
+        from repro.net.message import BlockEnvelope
+        from repro.net.simulator import NetworkSimulator
+        from repro.net.transport import SimTransport
+        from repro.storage.blockstore import ServerStorage
+
+        servers = make_servers(2)
+        ring = KeyRing(servers)
+        sim = NetworkSimulator()
+        for server in servers:
+            sim.register(server, lambda src, env: None)
+        builder = Shim(servers[0], brb_protocol, ring, SimTransport(sim, servers[0]))
+        chain = [builder.gossip.disseminate_to([]) for _ in range(5)]
+
+        receiver = Shim(
+            servers[1], brb_protocol, ring, SimTransport(sim, servers[1]),
+            storage=ServerStorage(tmp_path / "s2", config=StorageConfig()),
+        )
+        for block in reversed(chain[1:]):
+            receiver.on_network(servers[0], BlockEnvelope(block))
+        receiver.on_network(servers[0], BlockEnvelope(chain[0]))
+        assert [b.ref for b in receiver.storage.load_blocks()] == [
+            b.ref for b in chain
+        ]
+
+        recovered = Shim(
+            servers[1], brb_protocol, ring, SimTransport(sim, servers[1]),
+            storage=ServerStorage(tmp_path / "s2", config=StorageConfig()),
+        )
+        assert len(recovered.dag) == 5
+        assert recovered.interpreter.interpreted == receiver.interpreter.interpreted
+
     def test_checkpoint_bounds_replay(self, tmp_path):
         """Restart replays only the suffix: with a small checkpoint
         interval, blocks replayed ≪ blocks recovered."""

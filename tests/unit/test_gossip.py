@@ -123,6 +123,83 @@ class TestValidationPipeline:
         nodes[S2].on_receive(S1, BlockEnvelope(blocks[0]))
         assert len(nodes[S2].dag) == 5
 
+    def test_long_buffered_chain_drains_without_recursion_limit(self, net):
+        # The worklist pump must handle chains far deeper than Python's
+        # recursion limit would allow a recursive cascade to.
+        import sys
+
+        _, nodes, _ = net
+        depth = sys.getrecursionlimit() + 200
+        blocks = [nodes[S1].disseminate_to([]) for _ in range(depth)]
+        for block in reversed(blocks[1:]):
+            nodes[S2].on_receive(S1, BlockEnvelope(block))
+        nodes[S2].on_receive(S1, BlockEnvelope(blocks[0]))
+        assert len(nodes[S2].dag) == depth
+        assert len(nodes[S2].blks) == 0
+        assert nodes[S2]._waiting == {}
+
+    def test_missing_pred_index_tracks_and_clears(self, net):
+        _, nodes, _ = net
+        parent = nodes[S1].disseminate_to([])
+        child = nodes[S1].disseminate_to([])
+        nodes[S2].on_receive(S1, BlockEnvelope(child))
+        assert nodes[S2]._waiting == {parent.ref: [child.ref]}
+        nodes[S2].on_receive(S1, BlockEnvelope(parent))
+        assert nodes[S2]._waiting == {}
+        assert child.ref in nodes[S2].dag
+
+    def test_invalid_predecessor_condemns_buffered_descendants(self, net):
+        sim, nodes, ring = net
+        genesis = nodes[S1].disseminate()
+        sim.run_until_idle()
+        # Properly signed but content-invalid: k=2 with no k=1 parent.
+        def signed(n, k, preds):
+            unsigned = Block(n=n, k=k, preds=preds, rs=())
+            return Block(
+                n=n, k=k, preds=preds, rs=(),
+                sigma=ring.sign(n, unsigned.signing_payload()),
+            )
+
+        bad = signed(S1, 2, (genesis.ref,))
+        worse = signed(S1, 3, (bad.ref,))
+        # Child arrives first and waits on its (invalid) predecessor.
+        nodes[S2].on_receive(S1, BlockEnvelope(worse))
+        assert worse.ref in nodes[S2].blks
+        invalid_before = nodes[S2].metrics.invalid_blocks
+        nodes[S2].on_receive(S1, BlockEnvelope(bad))
+        # Both discarded by the same cascade; nothing lingers.
+        assert nodes[S2].metrics.invalid_blocks == invalid_before + 2
+        assert nodes[S2].blks == {}
+        assert bad.ref not in nodes[S2].dag
+        assert worse.ref not in nodes[S2].dag
+
+    def test_on_insert_fires_in_topological_order(self, net):
+        # Out-of-order arrival must still report insertions
+        # predecessors-first: the shim appends blocks to its WAL from
+        # this callback, and recovery replays the WAL in append order.
+        _, nodes, _ = net
+        chain = [nodes[S1].disseminate_to([]) for _ in range(4)]
+        seen = []
+        nodes[S2].on_insert = lambda block: seen.append(block.ref)
+        for block in reversed(chain[1:]):
+            nodes[S2].on_receive(S1, BlockEnvelope(block))
+        assert seen == []
+        nodes[S2].on_receive(S1, BlockEnvelope(chain[0]))
+        assert seen == [b.ref for b in chain]
+
+    def test_direct_dag_insert_unblocks_waiters(self, net):
+        # The drain is driven by the DAG's insert listener, so even an
+        # insertion that bypasses on_receive (e.g. recovery replay into
+        # a shared DAG) admits the buffered blocks waiting on it.
+        _, nodes, _ = net
+        parent = nodes[S1].disseminate_to([])
+        child = nodes[S1].disseminate_to([])
+        nodes[S2].on_receive(S1, BlockEnvelope(child))
+        assert child.ref in nodes[S2].blks
+        nodes[S2].dag.insert(parent)
+        assert child.ref in nodes[S2].dag
+        assert nodes[S2].blks == {}
+
 
 class TestForwardingMechanism:
     def test_fwd_requested_for_missing_pred(self, net):
@@ -141,6 +218,33 @@ class TestForwardingMechanism:
         _, nodes, _ = net
         nodes[S1].on_receive(S2, FwdRequestEnvelope(ref="0" * 64))
         assert nodes[S1].metrics.fwd_requests_unanswerable == 1
+
+    def test_retry_janitor_drops_orphaned_chases(self, net):
+        # A chased ref whose waiters were all condemned (INVALID
+        # cascade) must stop being FWD-requested: the retry timer drops
+        # the dead index bucket and the forwarding want.
+        sim, nodes, ring = net
+        genesis = nodes[S1].disseminate()
+        sim.run_until_idle()
+
+        def signed(n, k, preds):
+            unsigned = Block(n=n, k=k, preds=preds, rs=())
+            return Block(
+                n=n, k=k, preds=preds, rs=(),
+                sigma=ring.sign(n, unsigned.signing_payload()),
+            )
+
+        bad = signed(S1, 2, (genesis.ref,))  # invalid: no k=1 parent
+        fake = "f" * 64  # fabricated ref that will never arrive
+        worse = signed(S1, 3, (bad.ref, fake))
+        nodes[S2].on_receive(S1, BlockEnvelope(worse))
+        assert fake in nodes[S2]._waiting
+        nodes[S2].on_receive(S1, BlockEnvelope(bad))
+        assert nodes[S2].blks == {}  # cascade condemned both
+        assert nodes[S2]._waiting.get(fake) == [worse.ref]  # dead entry
+        sim.run_until_idle()  # retry timers fire
+        assert fake not in nodes[S2]._waiting
+        assert fake not in nodes[S2].forwarding
 
     def test_fwd_retry_paced(self):
         state = ForwardingState(retry_interval=3.0)

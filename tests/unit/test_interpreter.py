@@ -279,6 +279,128 @@ class TestIndications:
         assert delivered == set(dag_builder.servers)
 
 
+class TestIncrementalScheduler:
+    """The event-driven ready queue vs the frontier-rescan oracle."""
+
+    def test_modes_agree_on_prebuilt_dag(self, dag_builder):
+        dag_builder.block(S1, rs=[(L, Inc(1))])
+        dag_builder.round_all()
+        dag_builder.fork(S2, rs=[(L, Inc(7))])
+        dag_builder.round_all()
+        incremental = Interpreter(
+            dag_builder.dag, counter_protocol, dag_builder.servers
+        )
+        rescan = Interpreter(
+            dag_builder.dag, counter_protocol, dag_builder.servers,
+            incremental=False,
+        )
+        incremental.run()
+        rescan.run()
+        assert incremental.interpreted == rescan.interpreted
+        for block in dag_builder.dag.blocks():
+            assert (
+                incremental.state_of(block.ref).ms.snapshot()
+                == rescan.state_of(block.ref).ms.snapshot()
+            )
+
+    def test_insert_listener_keeps_queue_fresh(self, dag_builder):
+        interp = fresh_interpreter(dag_builder, counter_protocol)
+        assert interp.eligible() == []
+        genesis = dag_builder.block(S1, rs=[(L, Inc(1))])
+        # No run() in between: the DAG insert alone must queue it.
+        assert [b.ref for b in interp.eligible()] == [genesis.ref]
+        child = dag_builder.block(S2, refs=[genesis])
+        assert child.ref not in {b.ref for b in interp.eligible()}
+        interp.run()
+        assert interp.eligible() == []
+        assert interp.interpreted == {genesis.ref, child.ref}
+
+    def test_default_schedule_matches_rescan_exactly(self, dag_builder):
+        dag_builder.block(S1, rs=[(L, Inc(2))])
+        dag_builder.round_all()
+        dag_builder.round_all()
+        incremental = Interpreter(
+            dag_builder.dag, counter_protocol, dag_builder.servers
+        )
+        rescan = Interpreter(
+            dag_builder.dag, counter_protocol, dag_builder.servers,
+            incremental=False,
+        )
+        order_inc, order_res = [], []
+        incremental.on_indication = None
+        while True:
+            frontier = incremental.eligible()
+            if not frontier:
+                break
+            order_inc.append(frontier[0].ref)
+            incremental.interpret_block(frontier[0])
+        while True:
+            frontier = rescan.eligible()
+            if not frontier:
+                break
+            order_res.append(frontier[0].ref)
+            rescan.interpret_block(frontier[0])
+        assert order_inc == order_res
+
+    def test_choose_callback_works_incrementally(self, dag_builder):
+        dag_builder.block(S1, rs=[(L, Inc(1))])
+        dag_builder.round_all()
+        interp = fresh_interpreter(dag_builder, counter_protocol)
+        picked = []
+        interp.run(choose=lambda frontier: picked.append(frontier[-1]) or frontier[-1])
+        assert interp.interpreted == set(dag_builder.dag.refs)
+        assert len(picked) == len(dag_builder.dag)
+
+    def test_direct_interpret_block_updates_queue(self, dag_builder):
+        a = dag_builder.block(S1)
+        b = dag_builder.block(S2)
+        child = dag_builder.block(S1, refs=[b])
+        interp = fresh_interpreter(dag_builder, counter_protocol)
+        interp.interpret_block(b)
+        assert b.ref not in {x.ref for x in interp.eligible()}
+        interp.interpret_block(a)
+        assert [x.ref for x in interp.eligible()] == [child.ref]
+        interp.run()
+        assert interp.interpreted == {a.ref, b.ref, child.ref}
+
+    def test_run_is_incremental_across_extensions(self, dag_builder):
+        dag_builder.block(S1, rs=[(L, Inc(3))])
+        interp = fresh_interpreter(dag_builder, counter_protocol)
+        interp.run()
+        dag_builder.round_all()
+        dag_builder.round_all()
+        interp.run()
+        fresh = Interpreter(
+            dag_builder.dag, counter_protocol, dag_builder.servers,
+            incremental=False,
+        )
+        fresh.run()
+        for block in dag_builder.dag.blocks():
+            assert (
+                interp.state_of(block.ref).ms.snapshot()
+                == fresh.state_of(block.ref).ms.snapshot()
+            )
+
+    def test_resync_schedule_after_external_interpreted_growth(self, dag_builder):
+        # Simulates what install_checkpoint does: mark a prefix
+        # interpreted behind the scheduler's back, then resync.
+        a = dag_builder.block(S1, rs=[(L, Inc(1))])
+        child = dag_builder.block(S2, refs=[a])
+        donor = Interpreter(
+            dag_builder.dag, counter_protocol, dag_builder.servers,
+            incremental=False,
+        )
+        donor.interpret_block(a)
+        interp = fresh_interpreter(dag_builder, counter_protocol)
+        interp.interpreted.add(a.ref)
+        interp._states[a.ref] = donor.state_of(a.ref)
+        interp._active_labels[a.ref] = donor.active_labels(a.ref)
+        interp.resync_schedule()
+        assert [b.ref for b in interp.eligible()] == [child.ref]
+        interp.run()
+        assert interp.is_interpreted(child.ref)
+
+
 class TestSnapshotInstance:
     def test_snapshot_excludes_context_internals(self, dag_builder):
         block = dag_builder.block(S1, rs=[(L, Inc(5))])

@@ -117,6 +117,42 @@ class TestPruneEffects:
             interpreter.interpret_block(block)
         assert interpreter.below_horizon >= 1
 
+    def test_below_horizon_metric_is_stable(self):
+        builder, interpreter, layers = layered_dag()
+        prune(builder.dag, interpreter, frozenset(interpreter.interpreted))
+        ancient = layers[0][1]
+        builder.block(builder.servers[1], refs=[ancient])
+        interpreter.run()
+        assert interpreter.below_horizon == 1
+        # Repeated eligibility queries must not decay or inflate the
+        # count (the old code overwrote it per call and skipped the
+        # update entirely when nothing was released).
+        for _ in range(3):
+            interpreter.eligible()
+            assert interpreter.below_horizon == 1
+        # A second stranded block is tracked, not overwritten.
+        builder.block(builder.servers[2], refs=[layers[0][2]])
+        interpreter.run()
+        assert interpreter.below_horizon == 2
+        interpreter.eligible()
+        assert interpreter.below_horizon == 2
+
+    def test_below_horizon_matches_rescan_mode(self):
+        from repro.interpret.interpreter import Interpreter
+
+        builder, interpreter, layers = layered_dag()
+        rescan = Interpreter(
+            builder.dag, brb_protocol, builder.servers, incremental=False
+        )
+        rescan.run()
+        prune(builder.dag, interpreter, frozenset(interpreter.interpreted))
+        for ref in list(interpreter.released):
+            rescan.release_state(ref)
+        builder.block(builder.servers[1], refs=[layers[0][1]])
+        interpreter.run()
+        rescan.run()
+        assert interpreter.below_horizon == rescan.below_horizon == 1
+
     def test_fwd_requests_for_pruned_blocks_unanswerable(self):
         from repro.crypto.keys import KeyRing
         from repro.gossip.module import Gossip

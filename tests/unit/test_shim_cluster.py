@@ -134,6 +134,38 @@ class TestCluster:
             assert trace.per_label(server, L) == [Deliver("t")]
 
 
+class TestObservationsWithAllCorrectServersDown:
+    """Mid-CrashPlan a cluster can momentarily have zero live correct
+    servers; the observation helpers must stay total (they used to
+    raise IndexError / StopIteration)."""
+
+    def _downed_cluster(self, tmp_path):
+        config = ClusterConfig(storage_dir=tmp_path)
+        cluster = Cluster(counter_protocol, n=2, config=config)
+        cluster.request_all(L, Inc(1))
+        cluster.run_rounds(2)
+        for server in list(cluster.correct_servers):
+            cluster.crash(server)
+        return cluster
+
+    def test_dags_converged_vacuous(self, tmp_path):
+        cluster = self._downed_cluster(tmp_path)
+        assert cluster.correct_servers == []
+        assert cluster.dags_converged() is True
+
+    def test_total_blocks_zero(self, tmp_path):
+        cluster = self._downed_cluster(tmp_path)
+        assert cluster.total_blocks() == 0
+
+    def test_single_live_server_converged(self, tmp_path):
+        config = ClusterConfig(storage_dir=tmp_path)
+        cluster = Cluster(counter_protocol, n=2, config=config)
+        cluster.run_rounds(1)
+        cluster.crash(cluster.servers[0])
+        assert cluster.dags_converged() is True
+        assert cluster.total_blocks() >= 1
+
+
 class TestDirectRuntime:
     def test_requires_n_or_servers(self):
         with pytest.raises(ValueError):

@@ -66,6 +66,65 @@ class TestTopologicalOrder:
             dag_builder.dag
         )
 
+    def test_canonical_global_min_ref_order(self, dag_builder):
+        # The docstring's canonical claim: at every step the emitted
+        # block is the globally smallest-ref block whose predecessors
+        # are all emitted.  A FIFO queue with per-batch sorting violates
+        # this whenever a late arrival to the ready set has a smaller
+        # ref than an earlier-queued block on another branch — uneven
+        # chains make that nearly certain to occur somewhere below.
+        S1, S2, S3, S4 = dag_builder.servers
+        for _ in range(6):
+            dag_builder.block(S1)
+        dag_builder.block(S2)
+        dag_builder.block(S3, refs=[dag_builder.dag.tip(S2)])
+        dag_builder.round_all()
+        for _ in range(3):
+            dag_builder.block(S4)
+
+        order = topological_order(dag_builder.dag)
+        assert verify_schedule(dag_builder.dag, order)
+
+        # Reference implementation: greedy smallest-ref-first.
+        emitted = set()
+        expected = []
+        remaining = {b.ref: b for b in dag_builder.dag}
+        while remaining:
+            candidates = [
+                b for b in remaining.values()
+                if all(p in emitted for p in b.preds)
+            ]
+            chosen = min(candidates, key=lambda b: b.ref)
+            expected.append(chosen)
+            emitted.add(chosen.ref)
+            del remaining[chosen.ref]
+        assert [b.ref for b in order] == [b.ref for b in expected]
+
+    def test_canonical_under_custom_tie_break(self, dag_builder):
+        dag_builder.round_all()
+        dag_builder.round_all()
+        order = topological_order(dag_builder.dag, tie_break=lambda b: b.k)
+        assert verify_schedule(dag_builder.dag, order)
+        # Globally: no emitted block may have a smaller key than an
+        # earlier-emitted one while both were simultaneously available.
+        emitted: set = set()
+        available = {
+            b.ref for b in dag_builder.dag
+            if all(p in emitted for p in b.preds)
+        }
+        for block in order:
+            assert block.ref in available
+            smallest = min(
+                (dag_builder.dag.require(r) for r in available),
+                key=lambda b: (b.k, b.ref),
+            )
+            assert (block.k, block.ref) == (smallest.k, smallest.ref)
+            emitted.add(block.ref)
+            available.discard(block.ref)
+            for b in dag_builder.dag:
+                if b.ref not in emitted and all(p in emitted for p in b.preds):
+                    available.add(b.ref)
+
 
 class TestVerifySchedule:
     def test_rejects_wrong_order(self, dag_builder):
