@@ -24,6 +24,7 @@ from repro.analysis.reporting import format_series, format_table, shape_check
 from repro.protocols.brb import Broadcast, brb_protocol
 from repro.runtime.cluster import Cluster
 from repro.runtime.direct import DirectRuntime
+from repro.scenario import OpenLoopWorkload, RoundsElapsed, Scenario, ScenarioRunner
 from repro.types import Label, make_servers
 
 ROUNDS = 6
@@ -31,25 +32,20 @@ N = 4
 
 
 def run_embedding(batch_per_round):
-    cluster = Cluster(brb_protocol, n=N)
-    tx = 0
-    for _ in range(ROUNDS):
-        for _ in range(batch_per_round):
-            cluster.request(
-                cluster.servers[tx % N], Label(f"t{tx}"), Broadcast(tx)
-            )
-            tx += 1
-        cluster.round()
-    cluster.settle(3)
-    delivered_instances = sum(
-        1
-        for i in range(tx)
-        if all(
-            cluster.shim(s).indications_for(Label(f"t{i}"))
-            for s in cluster.correct_servers
-        )
+    """The embedding side as a declarative scenario: an open-loop
+    workload of ``batch_per_round`` requests per round for ``ROUNDS``
+    rounds, then settle — the loop previously hand-written here."""
+    scenario = Scenario(
+        name=f"throughput-batch-{batch_per_round}",
+        protocol="brb",
+        workload=OpenLoopWorkload(rate=batch_per_round, rounds=ROUNDS),
+        stop=RoundsElapsed(ROUNDS),
+        settle_rounds=3,
+        max_rounds=ROUNDS,
     )
-    return cluster, tx, delivered_instances
+    runner = ScenarioRunner(scenario)
+    result = runner.run()
+    return runner.cluster, result.requests_issued, result.requests_delivered
 
 
 def run_direct(total_tx):

@@ -54,14 +54,16 @@ INSTANCES = 48
 ROUNDS = 240
 
 
-def build_durable_cluster(root: Path, storage: StorageConfig) -> Cluster:
+def build_durable_cluster(
+    root: Path, storage: StorageConfig, instances: int, rounds: int
+) -> Cluster:
     """Drive a 4-server cluster with storage on, leaving real WALs (and
     possibly checkpoints) under ``root``."""
     config = ClusterConfig(storage_dir=root, storage=storage)
     cluster = Cluster(brb_protocol, n=4, config=config)
-    for i in range(INSTANCES):
+    for i in range(instances):
         cluster.request(cluster.servers[i % 4], Label(f"t{i}"), Broadcast(i))
-    cluster.run_rounds(ROUNDS)
+    cluster.run_rounds(rounds)
     return cluster
 
 
@@ -106,14 +108,16 @@ def wal_throughput(root: Path, blocks, repeats=3):
     }
 
 
-def run() -> dict:
+def run(instances: int = INSTANCES, rounds: int = ROUNDS) -> dict:
     reset(EXPERIMENT)
     root = Path(tempfile.mkdtemp(prefix="bench-storage-"))
     try:
         # Baseline: WAL only, no checkpoints ever written → restart
         # re-interprets the whole DAG.
         full_cfg = StorageConfig(checkpoint_interval=10**9, prune=False)
-        full_cluster = build_durable_cluster(root / "full", full_cfg)
+        full_cluster = build_durable_cluster(
+            root / "full", full_cfg, instances, rounds
+        )
         t_full, full_shim = time_recovery(root / "full", full_cluster, full_cfg)
 
         # Checkpointed + pruned: restart restores a bounded window and
@@ -122,7 +126,9 @@ def run() -> dict:
         ckpt_cfg = StorageConfig(
             checkpoint_interval=16, prune=True, segment_max_bytes=4096
         )
-        ckpt_cluster = build_durable_cluster(root / "ckpt", ckpt_cfg)
+        ckpt_cluster = build_durable_cluster(
+            root / "ckpt", ckpt_cfg, instances, rounds
+        )
         t_ckpt, ckpt_shim = time_recovery(root / "ckpt", ckpt_cluster, ckpt_cfg)
 
         # Correctness before speed: over every block the pruned server
@@ -144,7 +150,7 @@ def run() -> dict:
         dag_blocks = len(full_shim.dag)
         result = {
             "experiment": EXPERIMENT,
-            "workload": {"servers": 4, "instances": INSTANCES, "rounds": ROUNDS},
+            "workload": {"servers": 4, "instances": instances, "rounds": rounds},
             "dag_blocks": dag_blocks,
             "full_reinterpretation": {
                 "seconds": round(t_full, 6),
@@ -183,4 +189,9 @@ def test_restart_from_checkpoint_beats_full_reinterpretation():
 
 
 if __name__ == "__main__":
-    print(json.dumps(run(), indent=2))
+    # --smoke: a CI-sized run — same shape and JSON schema, a workload
+    # small enough to finish in seconds.
+    if "--smoke" in sys.argv[1:]:
+        print(json.dumps(run(instances=12, rounds=60), indent=2))
+    else:
+        print(json.dumps(run(), indent=2))

@@ -9,6 +9,8 @@ few rounds later it restarts from its WAL + checkpoint, catches up on
 the blocks it missed over normal gossip, and converges to the exact
 ledger everyone else holds.
 
+The whole run — workload, crash schedule, stop condition — is one
+declarative :class:`Scenario` (the registry's ``crash-restart`` shape).
 This is the paper's §7 observation made executable: interpretation is
 a pure function of the DAG (Lemma 4.2), so the durable DAG *is* the
 whole server.
@@ -19,59 +21,70 @@ Run:  PYTHONPATH=src python examples/crash_recovery.py
 import tempfile
 from pathlib import Path
 
-from repro import Cluster, ClusterConfig, CrashPlan, label
-from repro.protocols.counter import Inc, counter_protocol
-from repro.storage import StorageConfig
+from repro.scenario import (
+    AllDelivered,
+    And,
+    CrashFault,
+    DagsConverged,
+    FaultSchedule,
+    OpenLoopWorkload,
+    Scenario,
+    ScenarioRunner,
+    StorageSpec,
+    Topology,
+)
+from repro.types import Label
 
-LEDGER = label("ledger")
+LEDGER = "ledger"
 VICTIM = "s3"
+INCREMENTS = 8  # amounts 1..8 — the ledger must converge to 36
 
 
 def print_ledger(cluster, heading):
     print(f"\n{heading}")
     for server in sorted(cluster.correct_servers):
-        totals = [i.value for i in cluster.shim(server).indications_for(LEDGER)]
+        totals = [
+            i.value for i in cluster.shim(server).indications_for(Label(LEDGER))
+        ]
         final = totals[-1] if totals else 0
         print(f"  {server}: total={final}  (+{len(totals)} increments applied)")
-    if cluster.down:
-        for server in sorted(cluster.down):
-            print(f"  {server}: DOWN")
+    for server in sorted(cluster.down):
+        print(f"  {server}: DOWN")
+
+
+def build_scenario() -> Scenario:
+    return Scenario(
+        name="crash-recovery-example",
+        protocol="counter",
+        description="Counter ledger; s3 crashes at round 3 and restarts "
+        "from WAL + checkpoint at round 8.",
+        topology=Topology(
+            storage=StorageSpec(checkpoint_interval=6, segment_max_bytes=8192)
+        ),
+        # Inc(1) .. Inc(8), one per round, all on the shared ledger
+        # instance — increments land while the victim is up, down, and
+        # back again.
+        workload=OpenLoopWorkload(
+            rate=1, rounds=INCREMENTS, shared_label=LEDGER
+        ),
+        faults=FaultSchedule(
+            (CrashFault(server=VICTIM, crash_round=3, restart_round=8),)
+        ),
+        stop=And((AllDelivered(), DagsConverged())),
+        max_rounds=48,
+    )
 
 
 def main(storage_root: str | Path | None = None) -> dict:
     root = Path(storage_root) if storage_root else Path(
         tempfile.mkdtemp(prefix="crash-recovery-")
     )
-    config = ClusterConfig(
-        storage_dir=root,
-        storage=StorageConfig(checkpoint_interval=6, segment_max_bytes=8192),
-    )
-    plan = CrashPlan.crash_restart(VICTIM, crash_round=3, restart_round=8)
-    cluster = Cluster(counter_protocol, n=4, config=config, crash_plan=plan)
+    scenario = build_scenario()
+    print(f"running scenario {scenario.name!r}:\n{scenario.to_json(indent=2)}")
 
-    # Increments land while the victim is up, down, and back again.
-    amounts = list(range(1, 9))
-    for i, amount in enumerate(amounts[:4]):
-        cluster.request(cluster.servers[i % 4], LEDGER, Inc(amount))
-    cluster.run_rounds(4)  # the victim crashes at the start of round 3
-    print_ledger(cluster, f"mid-run — {VICTIM} has crashed:")
-
-    for i, amount in enumerate(amounts[4:]):
-        server = cluster.correct_servers[i % len(cluster.correct_servers)]
-        cluster.request(server, LEDGER, Inc(amount))
-    cluster.run_rounds(4)  # the victim restarts from disk at round 8
-    cluster.run_until(
-        lambda c: not c.down and c.dags_converged(), max_rounds=24
-    )
-    expected = sum(amounts)
-    cluster.run_until(
-        lambda c: all(
-            shim.indications_for(LEDGER)
-            and shim.indications_for(LEDGER)[-1].value == expected
-            for shim in c.shims.values()
-        ),
-        max_rounds=24,
-    )
+    runner = ScenarioRunner(scenario, storage_root=root)
+    result = runner.run()
+    cluster = runner.cluster
     print_ledger(cluster, f"after recovery — {VICTIM} restarted from disk:")
 
     recovered = cluster.shim(VICTIM)
@@ -83,22 +96,31 @@ def main(storage_root: str | Path | None = None) -> dict:
     print(f"  suffix replayed      : {report.blocks_replayed} blocks")
     print(f"  chain resumed        : {report.chain_resumed}")
 
-    storage = cluster.storage_metrics()
+    storage = result.storage
     print(f"\nstorage totals across servers:")
-    print(f"  WAL size    : {storage['wal_bytes']:.0f} bytes "
-          f"in {storage['wal_segments']:.0f} segments")
-    print(f"  checkpoints : {storage['checkpoints_written']:.0f} written")
-    print(f"  pruned      : {storage['payloads_dropped']:.0f} block payloads, "
-          f"{storage['states_released']:.0f} interpreter states")
+    print(f"  WAL size    : {storage.wal_bytes} bytes "
+          f"in {storage.wal_segments} segments")
+    print(f"  checkpoints : {storage.checkpoints_written} written")
+    print(f"  pruned      : {storage.payloads_dropped} block payloads, "
+          f"{storage.states_released} interpreter states")
 
+    expected = sum(range(1, INCREMENTS + 1))
     finals = {
-        server: cluster.shim(server).indications_for(LEDGER)[-1].value
+        server: cluster.shim(server).indications_for(Label(LEDGER))[-1].value
         for server in cluster.correct_servers
     }
     assert finals == {s: expected for s in cluster.servers}, finals
     print(f"\nall four servers agree on the ledger total {expected} — "
           f"Theorem 5.1 held across a crash.")
-    return {"finals": finals, "recovery": report, "storage": storage}
+    print(f"result (rounds={result.rounds_run}, crashes={result.crashes}, "
+          f"restarts={result.restarts}, "
+          f"p50 latency={result.latency_rounds.p50} rounds)")
+    return {
+        "finals": finals,
+        "recovery": report,
+        "storage": result.storage.as_dict(),
+        "result": result,
+    }
 
 
 if __name__ == "__main__":

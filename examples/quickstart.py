@@ -2,42 +2,57 @@
 """Quickstart: embed byzantine reliable broadcast in a block DAG.
 
 Four servers run ``shim(P)`` with P = reliable broadcast (the paper's
-§5 example).  One server broadcasts a value; the block DAG carries it
-without a single protocol message on the wire; everyone delivers.
+§5 example), described as a declarative :class:`Scenario`: one server
+broadcasts a value, the block DAG carries it without a single protocol
+message on the wire, everyone delivers, and the run comes back as a
+typed, JSON-able :class:`ScenarioResult`.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Broadcast, Cluster, brb_protocol, label
+from repro.scenario import (
+    AllDelivered,
+    And,
+    DagsConverged,
+    OpenLoopWorkload,
+    Scenario,
+    ScenarioRunner,
+)
 from repro.viz import render_lanes
 
 
 def main() -> None:
-    # A fault-free 4-server cluster (n = 3f+1 with f = 1).
-    cluster = Cluster(brb_protocol, n=4)
-    tx = label("tx-1")
+    # A fault-free 4-server cluster (n = 3f+1 with f = 1); the user of
+    # P at s1 requests one broadcast (Algorithm 3 line 6).
+    scenario = Scenario(
+        name="quickstart",
+        protocol="brb",
+        description="One reliable broadcast from s1, no faults.",
+        workload=OpenLoopWorkload(rate=1, rounds=1, sender="fixed:s1"),
+        stop=And((AllDelivered(), DagsConverged())),
+        max_rounds=16,
+    )
 
-    # The user of P at s1 requests broadcast(42) (Algorithm 3 line 6).
-    cluster.request(cluster.servers[0], tx, Broadcast(42))
+    runner = ScenarioRunner(scenario)
+    result = runner.run()
+    cluster = runner.cluster
 
-    # Drive dissemination rounds until every server delivered.
-    rounds = cluster.run_until(lambda c: c.all_delivered(tx))
-    print(f"delivered at all servers after {rounds} rounds\n")
-
+    print(f"delivered at all servers after {result.rounds_run} rounds\n")
     for server in cluster.correct_servers:
-        indications = cluster.shim(server).indications_for(tx)
+        label = runner.driver.records[0].label
+        indications = cluster.shim(server).indications_for(label)
         print(f"  {server}: {indications}")
 
     print("\nThe joint block DAG (one lane per server):\n")
     print(render_lanes(cluster.shim(cluster.servers[0]).dag))
 
-    wire = cluster.sim.metrics
-    interp = cluster.interpreter_metrics()
-    print(f"\nwire traffic : {wire.messages} envelopes, {wire.bytes} bytes")
+    print(f"\nwire traffic : {result.wire.messages} envelopes, "
+          f"{result.wire.bytes} bytes")
     print(
-        f"interpreted  : {interp['messages_materialized']} protocol messages "
-        f"materialized locally — none of them ever crossed the network"
+        f"interpreted  : {result.interpreter.messages_materialized} protocol "
+        f"messages materialized locally — none of them ever crossed the network"
     )
+    print(f"\nthe whole run as data:\n{scenario.to_json(indent=2)}")
 
 
 if __name__ == "__main__":

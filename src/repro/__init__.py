@@ -56,8 +56,18 @@ from repro.runtime import (
     CrashPlan,
     DirectRuntime,
     EquivocatorAdversary,
+    InterpreterSnapshot,
     SilentAdversary,
+    StorageSnapshot,
+    WireSnapshot,
     equivalent_traces,
+    quick_cluster,
+)
+from repro.scenario import (
+    Scenario,
+    ScenarioResult,
+    ScenarioRunner,
+    run_scenario,
 )
 from repro.shim import Shim
 from repro.storage import ServerStorage, StorageConfig, WriteAheadLog
@@ -96,12 +106,18 @@ __all__ = [
     "Label",
     "NetworkSimulator",
     "NullScheme",
+    "InterpreterSnapshot",
     "ProtocolSpec",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
     "ServerId",
     "ServerStorage",
     "Shim",
     "SilentAdversary",
     "StorageConfig",
+    "StorageSnapshot",
+    "WireSnapshot",
     "Validator",
     "Validity",
     "WriteAheadLog",
@@ -114,5 +130,7 @@ __all__ = [
     "make_servers",
     "pbft_protocol",
     "phase_king_protocol",
+    "quick_cluster",
+    "run_scenario",
     "server_id",
 ]

@@ -71,6 +71,12 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class ScenarioError(ReproError):
+    """A declarative scenario is malformed: unknown protocol, fault or
+    stop-condition kind, a fault naming an unknown server, or a JSON
+    document that does not round-trip to a valid :class:`Scenario`."""
+
+
 class StorageError(ReproError):
     """Durable-storage failure (WAL, checkpoint, or recovery)."""
 

@@ -162,10 +162,21 @@ class NetworkSimulator:
             if max_events is not None and processed >= max_events:
                 break
             if until is not None and self._heap[0].time > until:
-                self.now = until
                 break
             self.step()
             processed += 1
+        if (
+            until is not None
+            and self.now < until
+            and (not self._heap or self._heap[0].time > until)
+        ):
+            # The documented contract: the clock ends at exactly
+            # ``until`` even when the heap drains early (but never
+            # jumps past events a max_events break left pending).
+            # Round-driven callers — the cluster, fault timelines
+            # compiled from round indices — rely on round r spanning
+            # exactly [r·duration, (r+1)·duration) of virtual time.
+            self.now = until
         return processed
 
     def run_until_idle(self, max_events: int = 1_000_000) -> int:

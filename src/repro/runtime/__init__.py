@@ -19,9 +19,20 @@ from repro.runtime.adversary import (
     SilentAdversary,
     WithholdingAdversary,
 )
-from repro.runtime.cluster import Cluster, ClusterConfig, CrashEvent, CrashPlan
+from repro.runtime.cluster import (
+    Cluster,
+    ClusterConfig,
+    CrashEvent,
+    CrashPlan,
+    quick_cluster,
+)
 from repro.runtime.compare import equivalent_traces, summarize_trace
 from repro.runtime.direct import DirectRuntime, ProtocolMessageEnvelope
+from repro.runtime.snapshots import (
+    InterpreterSnapshot,
+    StorageSnapshot,
+    WireSnapshot,
+)
 
 __all__ = [
     "Adversary",
@@ -33,9 +44,13 @@ __all__ = [
     "DirectRuntime",
     "EquivocatorAdversary",
     "GarbageAdversary",
+    "InterpreterSnapshot",
     "ProtocolMessageEnvelope",
     "SilentAdversary",
+    "StorageSnapshot",
+    "WireSnapshot",
     "WithholdingAdversary",
     "equivalent_traces",
+    "quick_cluster",
     "summarize_trace",
 ]

@@ -30,6 +30,11 @@ from repro.net.simulator import NetworkSimulator
 from repro.net.transport import RevocableTransport, SimTransport
 from repro.protocols.base import ProtocolSpec, Trace
 from repro.runtime.adversary import Adversary
+from repro.runtime.snapshots import (
+    InterpreterSnapshot,
+    StorageSnapshot,
+    WireSnapshot,
+)
 from repro.shim.shim import Shim
 from repro.storage.blockstore import ServerStorage, StorageConfig
 from repro.types import Label, Request, ServerId, make_servers
@@ -326,20 +331,39 @@ class Cluster:
 
     # -- observations ------------------------------------------------------------
 
-    def dags_converged(self) -> bool:
-        """Whether all live correct servers hold identical DAGs (the
-        joint block DAG of Lemma 3.7, reached).
+    def dags_converged(self, live_only: bool = False) -> bool:
+        """Whether all *configured* correct servers hold identical DAGs
+        (the joint block DAG of Lemma 3.7, reached).
 
-        With zero or one live correct server — e.g. mid-``CrashPlan``
-        with every correct seat down — convergence holds vacuously."""
+        By default a crashed correct server counts as not-converged:
+        its view is gone, so the joint DAG has demonstrably not been
+        reached by everyone it was configured for.  ``live_only=True``
+        restricts the quantifier to currently-live correct servers
+        (vacuously true with zero or one of them) — useful when a
+        server is intentionally left down forever."""
+        if not live_only and self.down:
+            return False
         views = [shim.dag.refs for shim in self.shims.values()]
         if len(views) <= 1:
             return True
         return all(view == views[0] for view in views[1:])
 
-    def all_delivered(self, label: Label, minimum: int = 1) -> bool:
+    def all_delivered(
+        self, label: Label, minimum: int = 1, live_only: bool = False
+    ) -> bool:
         """Whether every correct server has at least ``minimum``
-        indications for ``label``."""
+        indications for ``label``.
+
+        Quantifies over the *configured* correct set: a crashed correct
+        server has (currently) delivered nothing, so by default this is
+        ``False`` while any correct server is down.  The old behaviour
+        — quantify only over live servers, vacuously true when all
+        correct servers are crashed — made
+        ``run_until(lambda c: c.all_delivered(l))`` terminate spuriously
+        mid-``CrashPlan``; opt back in with ``live_only=True`` (e.g.
+        when a server is deliberately left down for the whole run)."""
+        if not live_only and self.down:
+            return False
         return all(
             len(shim.indications_for(label)) >= minimum
             for shim in self.shims.values()
@@ -359,38 +383,56 @@ class Cluster:
         first = next(iter(self.shims.values()), None)
         return 0 if first is None else len(first.dag)
 
-    def interpreter_metrics(self) -> dict[str, int]:
-        """Aggregated interpretation counters across correct servers."""
-        totals = {
-            "blocks_interpreted": 0,
-            "messages_delivered": 0,
-            "messages_materialized": 0,
-            "request_steps": 0,
-        }
+    def wire_snapshot(self) -> WireSnapshot:
+        """Typed snapshot of the simulator's wire counters."""
+        metrics = self.sim.metrics
+        return WireSnapshot(
+            messages=metrics.messages,
+            bytes=metrics.bytes,
+            delivered=self.sim.delivered_count,
+            dropped=self.sim.dropped_count,
+            by_kind=dict(metrics.by_kind),
+            bytes_by_kind=dict(metrics.bytes_by_kind),
+        )
+
+    def interpreter_snapshot(self) -> InterpreterSnapshot:
+        """Typed aggregate of interpretation counters across live
+        correct servers."""
+        blocks = delivered = materialized = requests = horizon = 0
         for shim in self.shims.values():
             interpreter = shim.interpreter
-            totals["blocks_interpreted"] += interpreter.blocks_interpreted
-            totals["messages_delivered"] += interpreter.messages_delivered
-            totals["messages_materialized"] += interpreter.messages_materialized
-            totals["request_steps"] += interpreter.request_steps
-        return totals
+            blocks += interpreter.blocks_interpreted
+            delivered += interpreter.messages_delivered
+            materialized += interpreter.messages_materialized
+            requests += interpreter.request_steps
+            horizon += interpreter.below_horizon
+        return InterpreterSnapshot(
+            blocks_interpreted=blocks,
+            messages_delivered=delivered,
+            messages_materialized=materialized,
+            request_steps=requests,
+            below_horizon=horizon,
+        )
 
-    def storage_metrics(self) -> dict[str, float]:
-        """Aggregated persistence counters across live correct servers
-        (all zero when no ``storage_dir`` is configured)."""
-        totals: dict[str, float] = {
-            "wal_appends": 0.0,
-            "wal_bytes": 0.0,
-            "wal_segments": 0.0,
-            "checkpoints_written": 0.0,
-            "checkpoint_bytes": 0.0,
-            "checkpoint_age_max": 0.0,
-            "states_released": 0.0,
-            "payloads_dropped": 0.0,
-            "wal_segments_dropped": 0.0,
-            "blocks_recovered": 0.0,
-            "blocks_replayed": 0.0,
-        }
+    def storage_snapshot(self) -> StorageSnapshot:
+        """Typed aggregate of persistence counters across live correct
+        servers (all zero when no ``storage_dir`` is configured)."""
+        totals = dict.fromkeys(
+            (
+                "wal_appends",
+                "wal_bytes",
+                "wal_segments",
+                "checkpoints_written",
+                "checkpoint_bytes",
+                "checkpoint_age_max",
+                "states_released",
+                "payloads_dropped",
+                "wal_segments_dropped",
+                "blocks_recovered",
+                "blocks_replayed",
+            ),
+            0,
+        )
         for shim in self.shims.values():
             if shim.storage is None:
                 continue
@@ -401,7 +443,7 @@ class Cluster:
             totals["checkpoints_written"] += metrics.checkpoints_written
             totals["checkpoint_bytes"] += metrics.checkpoint_bytes
             totals["checkpoint_age_max"] = max(
-                totals["checkpoint_age_max"], float(shim.checkpoint_age())
+                totals["checkpoint_age_max"], shim.checkpoint_age()
             )
             totals["states_released"] += metrics.states_released
             totals["payloads_dropped"] += metrics.payloads_dropped
@@ -409,15 +451,48 @@ class Cluster:
             if shim.recovery is not None:
                 totals["blocks_recovered"] += shim.recovery.blocks_recovered
                 totals["blocks_replayed"] += shim.recovery.blocks_replayed
-        return totals
+        return StorageSnapshot(**{k: int(v) for k, v in totals.items()})
+
+    def interpreter_metrics(self) -> dict[str, int]:
+        """Aggregated interpretation counters across correct servers
+        (dict view of :meth:`interpreter_snapshot`)."""
+        return self.interpreter_snapshot().as_dict()
+
+    def storage_metrics(self) -> dict[str, float]:
+        """Aggregated persistence counters across live correct servers
+        (float-dict view of :meth:`storage_snapshot`, all zero when no
+        ``storage_dir`` is configured)."""
+        return {k: float(v) for k, v in self.storage_snapshot().as_dict().items()}
 
 
 def quick_cluster(
     protocol: ProtocolSpec,
     n: int = 4,
     seed: int = 0,
-    **config_kwargs: object,
+    *,
+    round_duration: float = 6.0,
+    stagger: float = 0.0,
+    latency: LatencyModel | None = None,
+    gossip: GossipConfig | None = None,
+    auto_interpret: bool = True,
+    storage_dir: str | Path | None = None,
+    storage: StorageConfig | None = None,
 ) -> Cluster:
-    """A fault-free n-server cluster with default wiring (examples/tests)."""
-    config = ClusterConfig(seed=seed, **config_kwargs)  # type: ignore[arg-type]
+    """A fault-free n-server cluster with default wiring (examples/tests).
+
+    Every :class:`ClusterConfig` knob is an explicit keyword parameter,
+    so a typo (``quick_cluster(p, staggr=0.5)``) fails right here with
+    a normal ``TypeError: unexpected keyword argument`` naming the call
+    site — not as an opaque dataclass error deep inside construction.
+    """
+    config = ClusterConfig(
+        round_duration=round_duration,
+        stagger=stagger,
+        latency=latency if latency is not None else FixedLatency(),
+        seed=seed,
+        gossip=gossip if gossip is not None else GossipConfig(),
+        auto_interpret=auto_interpret,
+        storage_dir=storage_dir,
+        storage=storage if storage is not None else StorageConfig(),
+    )
     return Cluster(protocol, n=n, config=config)

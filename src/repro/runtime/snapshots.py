@@ -1,0 +1,104 @@
+"""Typed metric snapshots of one cluster run.
+
+The cluster exposes three families of counters — wire traffic
+(simulator), interpretation work (per-shim interpreters) and
+persistence costs (per-shim storage).  Historically each was a loose
+``dict[str, number]``; these frozen dataclasses give them a schema so
+the scenario layer (and anything else that serializes results) gets
+typos caught at attribute access and a stable JSON shape.
+
+The dict-returning :class:`~repro.runtime.cluster.Cluster` methods
+survive as thin views over these snapshots for existing callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+
+
+@dataclass(frozen=True)
+class WireSnapshot:
+    """What crossed the simulated wire during a run."""
+
+    messages: int = 0
+    bytes: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able dict with deterministically ordered kind maps."""
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "by_kind": {k: self.by_kind[k] for k in sorted(self.by_kind)},
+            "bytes_by_kind": {
+                k: self.bytes_by_kind[k] for k in sorted(self.bytes_by_kind)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "WireSnapshot":
+        return cls(
+            messages=int(data["messages"]),  # type: ignore[arg-type]
+            bytes=int(data["bytes"]),  # type: ignore[arg-type]
+            delivered=int(data.get("delivered", 0)),  # type: ignore[arg-type]
+            dropped=int(data.get("dropped", 0)),  # type: ignore[arg-type]
+            by_kind=dict(data.get("by_kind", {})),  # type: ignore[arg-type]
+            bytes_by_kind=dict(data.get("bytes_by_kind", {})),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class InterpreterSnapshot:
+    """Interpretation counters aggregated across live correct servers."""
+
+    blocks_interpreted: int = 0
+    messages_delivered: int = 0
+    messages_materialized: int = 0
+    request_steps: int = 0
+    #: Blocks permanently uninterpretable because a direct predecessor's
+    #: annotation was pruned below the stable frontier (only a byzantine
+    #: builder can produce one).  Non-zero means interpretation of every
+    #: descendant has stalled — surface it, never hide it.
+    below_horizon: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "InterpreterSnapshot":
+        return cls(**{f.name: int(data.get(f.name, 0)) for f in fields(cls)})  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class StorageSnapshot:
+    """Persistence counters aggregated across live correct servers.
+
+    All-zero when the run had no ``storage_dir`` configured."""
+
+    wal_appends: int = 0
+    wal_bytes: int = 0
+    wal_segments: int = 0
+    checkpoints_written: int = 0
+    checkpoint_bytes: int = 0
+    checkpoint_age_max: int = 0
+    states_released: int = 0
+    payloads_dropped: int = 0
+    wal_segments_dropped: int = 0
+    blocks_recovered: int = 0
+    blocks_replayed: int = 0
+
+    def any_activity(self) -> bool:
+        """Whether the run touched durable storage at all."""
+        return any(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "StorageSnapshot":
+        return cls(**{f.name: int(data.get(f.name, 0)) for f in fields(cls)})  # type: ignore[arg-type]

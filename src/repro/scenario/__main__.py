@@ -1,0 +1,214 @@
+"""``python -m repro.scenario`` — list, inspect, run and diff scenarios.
+
+Subcommands
+-----------
+
+* ``list`` — the registry catalogue with one-line descriptions.
+* ``show NAME`` — the exact scenario JSON that ``run NAME`` executes.
+* ``run NAME [NAME...]`` — execute scenarios; ``--json`` emits
+  ``{"results": [...]}`` (the document CI's schema check parses),
+  otherwise a human summary table per scenario.
+* ``diff NAME_A NAME_B`` — run two scenarios (or the same one under
+  two seeds via ``--seed``/``--seed-b``) and print every result field
+  that differs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import ScenarioError
+from repro.scenario import registry
+from repro.scenario.result import ScenarioResult
+from repro.scenario.runner import run_scenario
+
+
+def _flatten(data: Mapping[str, object], prefix: str = "") -> dict[str, object]:
+    flat: dict[str, object] = {}
+    for key, value in data.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            flat.update(_flatten(value, f"{path}."))
+        else:
+            flat[path] = value
+    return flat
+
+
+def _summary_lines(result: ScenarioResult) -> list[str]:
+    latency = result.latency_rounds
+    lines = [
+        f"scenario      : {result.scenario} (protocol={result.protocol}, "
+        f"seed={result.seed})",
+        f"stopped       : {result.stopped_by} after {result.rounds_run} rounds "
+        f"(t_virt={result.virtual_time:.1f})",
+        f"requests      : {result.requests_delivered}/{result.requests_issued} "
+        f"delivered, throughput={result.throughput:.4f}/t",
+        f"latency (rnd) : p50={latency.p50} p90={latency.p90} "
+        f"p99={latency.p99} max={latency.max}",
+        f"wire          : {result.wire.messages} envelopes, "
+        f"{result.wire.bytes} bytes, {result.wire.dropped} dropped",
+        f"cluster       : {result.total_blocks} blocks, converged="
+        f"{result.converged}, forks={result.forks_observed}, "
+        f"crashes={result.crashes}, restarts={result.restarts}",
+    ]
+    if result.storage.any_activity():
+        lines.append(
+            f"storage       : {result.storage.wal_bytes} WAL bytes in "
+            f"{result.storage.wal_segments} segments, "
+            f"{result.storage.checkpoints_written} checkpoints, "
+            f"{result.storage.payloads_dropped} payloads pruned"
+        )
+    if result.down_at_end:
+        lines.append(f"down at end   : {', '.join(result.down_at_end)}")
+    lines.append(f"wall clock    : {result.wall_seconds:.3f}s")
+    return lines
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in registry.names():
+        scenario = registry.get(name, smoke=args.smoke)
+        rows.append((name, scenario.protocol, scenario.description))
+    width = max(len(name) for name, _, _ in rows)
+    for name, protocol, description in rows:
+        print(f"{name.ljust(width)}  [{protocol}]  {description}")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    scenario = registry.get(args.name, smoke=args.smoke, seed=args.seed)
+    print(scenario.to_json(indent=2))
+    return 0
+
+
+def _fresh_storage_root(base: str | None, name: str) -> str | None:
+    """A per-run subdirectory under ``--storage-dir`` (every run gets
+    fresh durable state; artefacts stay inspectable under ``base``)."""
+    if base is None:
+        return None
+    root = Path(base)
+    root.mkdir(parents=True, exist_ok=True)
+    return tempfile.mkdtemp(dir=root, prefix=f"{name}-")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    results = []
+    for name in args.names:
+        scenario = registry.get(name, smoke=args.smoke, seed=args.seed)
+        result = run_scenario(
+            scenario,
+            storage_root=_fresh_storage_root(args.storage_dir, name),
+        )
+        results.append(result)
+        if not args.json:
+            print("\n".join(_summary_lines(result)))
+            print()
+    if args.json:
+        print(
+            json.dumps(
+                {"results": [r.to_json_dict() for r in results]},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    failed = [r for r in results if r.stopped_by == "max-rounds"]
+    return 1 if failed else 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    scenario_a = registry.get(args.name_a, smoke=args.smoke, seed=args.seed)
+    seed_b = args.seed_b if args.seed_b is not None else args.seed
+    scenario_b = registry.get(args.name_b, smoke=args.smoke, seed=seed_b)
+    result_a = run_scenario(
+        scenario_a, storage_root=_fresh_storage_root(args.storage_dir, args.name_a)
+    )
+    result_b = run_scenario(
+        scenario_b, storage_root=_fresh_storage_root(args.storage_dir, args.name_b)
+    )
+    flat_a = _flatten(result_a.to_json_dict(include_wall_clock=False))
+    flat_b = _flatten(result_b.to_json_dict(include_wall_clock=False))
+    label_a = f"{args.name_a}@{scenario_a.seed}"
+    label_b = f"{args.name_b}@{scenario_b.seed}"
+    differing = [
+        key
+        for key in sorted(set(flat_a) | set(flat_b))
+        if flat_a.get(key) != flat_b.get(key)
+    ]
+    if not differing:
+        print(f"{label_a} and {label_b}: results identical")
+        return 0
+    width = max(len(key) for key in differing)
+    print(f"{'field'.ljust(width)}  {label_a}  ->  {label_b}")
+    for key in differing:
+        print(
+            f"{key.ljust(width)}  {flat_a.get(key, '<absent>')}  ->  "
+            f"{flat_b.get(key, '<absent>')}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenario",
+        description="List, inspect, run and diff declarative scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="catalogue of named scenarios")
+    p_list.add_argument("--smoke", action="store_true")
+    p_list.set_defaults(func=cmd_list)
+
+    p_show = sub.add_parser("show", help="print a scenario's JSON document")
+    p_show.add_argument("name")
+    p_show.add_argument("--smoke", action="store_true")
+    p_show.add_argument("--seed", type=int, default=None)
+    p_show.set_defaults(func=cmd_show)
+
+    p_run = sub.add_parser("run", help="execute one or more scenarios")
+    p_run.add_argument("names", nargs="+")
+    p_run.add_argument("--json", action="store_true", help="emit JSON results")
+    p_run.add_argument(
+        "--smoke", action="store_true", help="smaller, CI-sized variants"
+    )
+    p_run.add_argument("--seed", type=int, default=None)
+    p_run.add_argument(
+        "--storage-dir",
+        default=None,
+        help="base directory for durable state; each run gets a fresh "
+        "subdirectory under it and the artefacts are kept (default: a "
+        "temp dir, removed after the run)",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_diff = sub.add_parser(
+        "diff", help="run two scenarios (or seeds) and diff the results"
+    )
+    p_diff.add_argument("name_a")
+    p_diff.add_argument("name_b")
+    p_diff.add_argument("--smoke", action="store_true")
+    p_diff.add_argument("--seed", type=int, default=None)
+    p_diff.add_argument(
+        "--seed-b", type=int, default=None, help="seed for the second run"
+    )
+    p_diff.add_argument("--storage-dir", default=None)
+    p_diff.set_defaults(func=cmd_diff)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ScenarioError as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

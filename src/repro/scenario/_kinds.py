@@ -1,0 +1,40 @@
+"""Shared plumbing for the ``kind``-tagged JSON unions.
+
+Workloads, fault events and stop conditions all serialize as
+``{"kind": ..., **payload}`` with a per-family registry of concrete
+classes.  The registration (``__init_subclass__``) stays in each base
+class; the decode half — registry lookup with a helpful unknown-kind
+error, payload extraction, and TypeError wrapping — lives here once so
+the three deserializers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, TypeVar
+
+from repro.errors import ScenarioError
+
+T = TypeVar("T")
+
+
+def decode_kind(
+    registry: Mapping[str, type],
+    base: type[T],
+    data: Mapping[str, Any],
+    noun: str,
+) -> T:
+    """Decode one ``{"kind": ..., **payload}`` document.
+
+    Concrete classes may override ``_from_payload(payload)`` when their
+    JSON shape is not plain constructor kwargs (e.g. nested unions).
+    """
+    kind = data.get("kind")
+    cls = registry.get(str(kind))
+    if cls is None or cls is base:
+        known = sorted(k for k, v in registry.items() if v is not base)
+        raise ScenarioError(f"unknown {noun} kind {kind!r} (known: {known})")
+    payload = {k: v for k, v in data.items() if k != "kind"}
+    try:
+        return cls._from_payload(payload)  # type: ignore[attr-defined,no-any-return]
+    except TypeError as exc:
+        raise ScenarioError(f"bad {kind!r} {noun}: {exc}") from exc

@@ -1,0 +1,45 @@
+"""Per-round probes — named time series sampled while a scenario runs.
+
+A probe is a pure observation: after every round the runner samples
+each configured probe and appends the value to the result's series for
+that probe.  Probes are referenced by name in the scenario JSON, so a
+replayed scenario regenerates byte-identical series.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ScenarioError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario.runner import ScenarioRunner
+
+#: A probe samples one number from a live run.
+ProbeFn = Callable[["ScenarioRunner"], float]
+
+PROBES: dict[str, ProbeFn] = {
+    "total-blocks": lambda r: float(r.cluster.total_blocks()),
+    "wire-messages": lambda r: float(r.cluster.sim.metrics.messages),
+    "wire-bytes": lambda r: float(r.cluster.sim.metrics.bytes),
+    "backlog": lambda r: float(
+        sum(shim.backlog() for shim in r.cluster.shims.values())
+    ),
+    "delivered": lambda r: float(r.driver.delivered_count),
+    "issued": lambda r: float(r.driver.issued),
+    "down-servers": lambda r: float(len(r.cluster.down)),
+    "blocks-interpreted": lambda r: float(
+        r.cluster.interpreter_snapshot().blocks_interpreted
+    ),
+    "wal-bytes": lambda r: float(r.cluster.storage_snapshot().wal_bytes),
+}
+
+
+def resolve_probe(name: str) -> ProbeFn:
+    """Look a probe up by name, failing with the known names."""
+    try:
+        return PROBES[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown probe {name!r} (known: {sorted(PROBES)})"
+        ) from None

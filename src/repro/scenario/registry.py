@@ -1,0 +1,247 @@
+"""The registry of named scenarios — the runnable catalogue behind
+``python -m repro.scenario``.
+
+Each entry is a builder taking ``smoke`` (a smaller, CI-friendly
+variant with the same shape) and returning a full :class:`Scenario`
+value.  Because scenarios are plain data, ``show <name>`` prints the
+exact JSON that ``run <name>`` executes — the catalogue doubles as the
+schema's worked examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ScenarioError
+from repro.scenario.faults import (
+    ByzantineFault,
+    CrashFault,
+    FaultSchedule,
+    PartitionFault,
+)
+from repro.scenario.spec import LatencySpec, Scenario, StorageSpec, Topology
+from repro.scenario.stop import AllDelivered, And, DagsConverged, RoundsElapsed
+from repro.scenario.workload import ClosedLoopWorkload, OpenLoopWorkload
+
+ScenarioBuilder = Callable[[bool], Scenario]
+
+_DEFAULT_PROBES = ("total-blocks", "wire-bytes", "delivered")
+
+
+def _fault_free(smoke: bool) -> Scenario:
+    return Scenario(
+        name="fault-free",
+        protocol="brb",
+        description="Baseline: reliable broadcast, no faults, open-loop "
+        "workload until everything is delivered everywhere.",
+        workload=OpenLoopWorkload(rate=1 if smoke else 2, rounds=2 if smoke else 3),
+        stop=And((AllDelivered(), DagsConverged())),
+        probes=_DEFAULT_PROBES,
+        max_rounds=16,
+    )
+
+
+def _partition_heal(smoke: bool) -> Scenario:
+    return Scenario(
+        name="partition-heal",
+        protocol="brb",
+        description="A 2|2 partition opens mid-workload and heals; "
+        "queued cross-cut traffic lands and the DAGs reconverge.",
+        workload=OpenLoopWorkload(rate=1, rounds=2 if smoke else 4),
+        faults=FaultSchedule(
+            (
+                PartitionFault(
+                    start_round=1,
+                    heal_round=3 if smoke else 5,
+                    group_a=("s1", "s2"),
+                    group_b=("s3", "s4"),
+                ),
+            )
+        ),
+        stop=And((AllDelivered(), DagsConverged())),
+        probes=_DEFAULT_PROBES,
+        max_rounds=32,
+    )
+
+
+def _crash_restart(smoke: bool) -> Scenario:
+    return Scenario(
+        name="crash-restart",
+        protocol="counter",
+        description="A replicated counter ledger; one server crashes, "
+        "loses all volatile state, restarts from WAL + checkpoint and "
+        "converges to the same ledger (Theorem 5.1 across a crash).",
+        topology=Topology(
+            storage=StorageSpec(checkpoint_interval=6, segment_max_bytes=8192)
+        ),
+        workload=OpenLoopWorkload(
+            rate=1, rounds=4 if smoke else 8, shared_label="ledger"
+        ),
+        faults=FaultSchedule(
+            (
+                CrashFault(
+                    server="s3",
+                    crash_round=2 if smoke else 3,
+                    restart_round=5 if smoke else 8,
+                ),
+            )
+        ),
+        stop=And((AllDelivered(), DagsConverged())),
+        probes=_DEFAULT_PROBES + ("down-servers", "wal-bytes"),
+        max_rounds=48,
+    )
+
+
+def _equivocator(smoke: bool) -> Scenario:
+    return Scenario(
+        name="equivocator",
+        protocol="brb",
+        description="A byzantine seat forks its chain (Figure 3) and "
+        "tells each network half a different value; correct servers "
+        "absorb both versions and still agree.",
+        faults=FaultSchedule(
+            (
+                ByzantineFault(
+                    server="s4", behaviour="equivocator", equivocate_at=(1,)
+                ),
+            )
+        ),
+        workload=OpenLoopWorkload(rate=1, rounds=2 if smoke else 3),
+        stop=And((AllDelivered(), DagsConverged())),
+        probes=_DEFAULT_PROBES,
+        max_rounds=32,
+    )
+
+
+def _mixed_faults(smoke: bool) -> Scenario:
+    return Scenario(
+        name="mixed-faults",
+        protocol="brb",
+        description="All three fault families in one timeline (n=7, "
+        "f=2): an equivocator seat, a crash + restart-from-disk, and a "
+        "partition that heals — the 'any schedule of faults' pitch.",
+        # prune=False: with an equivocator in play, a partition-delayed
+        # fork sibling can reference blocks below the pruning horizon,
+        # stalling interpretation of every honest descendant (the
+        # below-horizon hazard — see ROADMAP).  Checkpoints stay on for
+        # the crash-restart path; only state GC is held back.
+        topology=Topology(
+            n=7,
+            storage=StorageSpec(checkpoint_interval=8, prune=False),
+        ),
+        workload=OpenLoopWorkload(rate=1 if smoke else 2, rounds=4 if smoke else 6),
+        faults=FaultSchedule(
+            (
+                ByzantineFault(
+                    server="s7", behaviour="equivocator", equivocate_at=(2,)
+                ),
+                CrashFault(server="s3", crash_round=3, restart_round=7),
+                PartitionFault(
+                    start_round=2,
+                    heal_round=5,
+                    group_a=("s1", "s2", "s3"),
+                    group_b=("s4", "s5", "s6", "s7"),
+                ),
+            )
+        ),
+        stop=And((AllDelivered(), DagsConverged())),
+        probes=_DEFAULT_PROBES + ("down-servers",),
+        max_rounds=64,
+    )
+
+
+def _saturation(smoke: bool) -> Scenario:
+    return Scenario(
+        name="saturation",
+        protocol="brb",
+        description="Open-loop saturation: a fixed high injection rate "
+        "regardless of completion; batching keeps wire envelopes near "
+        "constant while throughput scales with the rate.",
+        workload=OpenLoopWorkload(rate=4 if smoke else 16, rounds=3 if smoke else 6),
+        stop=AllDelivered(),
+        probes=_DEFAULT_PROBES + ("backlog", "issued"),
+        max_rounds=40,
+    )
+
+
+def _closed_loop(smoke: bool) -> Scenario:
+    return Scenario(
+        name="closed-loop",
+        protocol="brb",
+        description="Closed-loop latency probe: a fixed number of "
+        "clients, each issuing its next request only after the "
+        "previous one delivered everywhere.",
+        workload=ClosedLoopWorkload(clients=2, total=4 if smoke else 8),
+        stop=AllDelivered(),
+        probes=_DEFAULT_PROBES,
+        max_rounds=64,
+    )
+
+
+def _pruning(smoke: bool) -> Scenario:
+    return Scenario(
+        name="pruning",
+        protocol="counter",
+        description="Long-run soak with aggressive checkpoints and "
+        "pruning: WAL segments are dropped below the stable frontier "
+        "while the ledger keeps advancing.",
+        topology=Topology(
+            storage=StorageSpec(
+                checkpoint_interval=8, segment_max_bytes=4096, prune=True
+            )
+        ),
+        workload=OpenLoopWorkload(
+            rate=1, rounds=10 if smoke else 24, shared_label="ledger"
+        ),
+        stop=And((RoundsElapsed(14 if smoke else 30), AllDelivered())),
+        probes=("total-blocks", "wal-bytes", "blocks-interpreted"),
+        max_rounds=24 if smoke else 48,
+    )
+
+
+def _offline_interpretation(smoke: bool) -> Scenario:
+    return Scenario(
+        name="offline-interpretation",
+        protocol="brb",
+        description="Build the DAG with interpretation off, then "
+        "interpret the whole run after the fact (the paper's off-line "
+        "mode): deliveries all land in the final sweep.",
+        topology=Topology(auto_interpret=False),
+        workload=OpenLoopWorkload(rate=1 if smoke else 2, rounds=2 if smoke else 3),
+        stop=RoundsElapsed(6 if smoke else 8),
+        probes=("total-blocks", "wire-bytes"),
+        max_rounds=6 if smoke else 8,
+    )
+
+
+REGISTRY: dict[str, ScenarioBuilder] = {
+    "fault-free": _fault_free,
+    "partition-heal": _partition_heal,
+    "crash-restart": _crash_restart,
+    "equivocator": _equivocator,
+    "mixed-faults": _mixed_faults,
+    "saturation": _saturation,
+    "closed-loop": _closed_loop,
+    "pruning": _pruning,
+    "offline-interpretation": _offline_interpretation,
+}
+
+
+def names() -> list[str]:
+    """Registry scenario names, in catalogue order."""
+    return list(REGISTRY)
+
+
+def get(name: str, smoke: bool = False, seed: int | None = None) -> Scenario:
+    """Build a registry scenario, optionally in its smoke variant and
+    under a non-default seed."""
+    try:
+        builder = REGISTRY[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r} (known: {names()})"
+        ) from None
+    scenario = builder(smoke)
+    if seed is not None:
+        scenario = scenario.with_seed(seed)
+    return scenario

@@ -1,0 +1,251 @@
+"""Executes a :class:`~repro.scenario.spec.Scenario` on a
+:class:`~repro.runtime.cluster.Cluster`.
+
+The runner is the only imperative piece of the scenario layer: it
+compiles the fault schedule onto the runtime's three fault knobs,
+builds the cluster, drives rounds while injecting the workload and the
+byzantine equivocation cues, evaluates the stop condition, samples
+probes, and folds everything into a typed
+:class:`~repro.scenario.result.ScenarioResult`.
+
+Determinism: the cluster simulation derives all randomness from the
+scenario seed, and the workload RNG is derived from the same seed, so
+the same scenario value replays to the same result (the CLI's ``diff``
+and the determinism regression test rely on this).
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.errors import ScenarioError
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.storage.blockstore import StorageConfig
+from repro.scenario.probes import resolve_probe
+from repro.scenario.result import LatencyStats, ScenarioResult
+from repro.scenario.spec import Scenario, resolve_protocol
+from repro.scenario.workload import WorkloadDriver
+from repro.types import Label, ServerId
+
+
+class ScenarioRunner:
+    """One scenario, one cluster, one result.
+
+    Parameters
+    ----------
+    scenario:
+        The declarative run description.
+    storage_root:
+        Directory for per-server durable state when the scenario needs
+        storage (crash faults or an explicit storage spec).  ``None``
+        uses a temporary directory that is removed after :meth:`run`.
+
+    After :meth:`run` the :attr:`cluster` stays accessible, so examples
+    and tests can inspect DAGs, shims and recovery reports beyond what
+    the result carries.  When the runner owned a temporary storage root
+    it is removed at the end of :meth:`run` and the shims are detached
+    from storage — the cluster remains drivable, in RAM only.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        storage_root: str | Path | None = None,
+    ) -> None:
+        self.scenario = scenario
+        self.entry = resolve_protocol(scenario.protocol)
+        self.compiled = scenario.faults.compile(
+            scenario.topology.servers(), scenario.topology.round_duration
+        )
+        self._storage_root = Path(storage_root) if storage_root else None
+        self._owns_storage = False
+        try:
+            self.cluster: Cluster = self._build_cluster()
+        except BaseException:
+            # Don't leak the temp root we just created for this run.
+            if self._owns_storage and self._storage_root is not None:
+                shutil.rmtree(self._storage_root, ignore_errors=True)
+            raise
+        self.driver = WorkloadDriver(
+            scenario.workload,
+            self.entry.make_request,
+            # Derived from the scenario seed alone: replays identically.
+            rng=random.Random(scenario.seed * 1_000_003 + 17),
+        )
+        self.rounds_run = 0
+        self.result: ScenarioResult | None = None
+        self._probe_series: dict[str, list[float]] = {
+            name: [] for name in scenario.probes
+        }
+
+    # -- construction ----------------------------------------------------------
+
+    def _build_cluster(self) -> Cluster:
+        scenario = self.scenario
+        topology = scenario.topology
+        storage_dir: Path | None = None
+        if scenario.needs_storage():
+            if self._storage_root is None:
+                self._storage_root = Path(
+                    tempfile.mkdtemp(prefix=f"scenario-{scenario.name}-")
+                )
+                self._owns_storage = True
+            else:
+                # A scenario run is a *fresh* execution; shim
+                # construction over leftover per-server state would
+                # silently become a restart-from-disk of some earlier
+                # run, contaminating the result and breaking the
+                # same-seed determinism guarantee.
+                stale = [
+                    str(s)
+                    for s in topology.servers()
+                    if (self._storage_root / str(s)).exists()
+                ]
+                if stale:
+                    raise ScenarioError(
+                        f"storage root {self._storage_root} already holds "
+                        f"server state for {stale}; a scenario run needs a "
+                        f"fresh directory (in-run restarts are expressed as "
+                        f"CrashFault events, not by reusing a root)"
+                    )
+            storage_dir = self._storage_root
+        storage_spec = topology.storage
+        config = ClusterConfig(
+            round_duration=topology.round_duration,
+            stagger=topology.stagger,
+            latency=topology.latency.build(),
+            seed=scenario.seed,
+            auto_interpret=topology.auto_interpret,
+            storage_dir=storage_dir,
+            storage=(
+                storage_spec.build() if storage_spec is not None else StorageConfig()
+            ),
+        )
+        return Cluster(
+            self.entry.spec,
+            servers=topology.servers(),
+            config=config,
+            faults=self.compiled.fault_plan,
+            adversaries={
+                ServerId(s): factory
+                for s, factory in self.compiled.adversaries.items()
+            },
+            crash_plan=self.compiled.crash_plan,
+        )
+
+    # -- byzantine cues --------------------------------------------------------
+
+    def _inject_cues(self, round_index: int) -> None:
+        """Equivocator seats submit their conflicting request pair at
+        the scheduled rounds: one value to each half of the network
+        (Figure 3 made to happen on demand)."""
+        for cue_round, server in self.compiled.equivocation_cues:
+            if cue_round != round_index:
+                continue
+            adversary = self.cluster.adversaries[ServerId(server)]
+            label = Label(f"byz-{server}-{cue_round}")
+            # Indices far above any workload index: the two values are
+            # distinct from each other and from every honest request.
+            base = 1_000_000 + 2 * cue_round
+            adversary.request(label, self.entry.make_request(base))  # type: ignore[attr-defined]
+            adversary.fork_request(label, self.entry.make_request(base + 1))  # type: ignore[attr-defined]
+
+    # -- driving ---------------------------------------------------------------
+
+    def _one_round(self, inject: bool) -> None:
+        index = self.cluster.rounds_run
+        if inject:
+            self.driver.before_round(self.cluster, index)
+            self._inject_cues(index)
+        self.cluster.round()
+        self.driver.after_round(self.cluster, index)
+        self.rounds_run = self.cluster.rounds_run
+        for name, series in self._probe_series.items():
+            series.append(resolve_probe(name)(self))
+
+    def run(self) -> ScenarioResult:
+        """Drive the scenario to its stop condition and build the result."""
+        scenario = self.scenario
+        start_wall = time.perf_counter()
+        stopped_by = "stop-condition"
+        try:
+            while True:
+                if scenario.stop.satisfied(self):
+                    break
+                if self.rounds_run >= scenario.max_rounds:
+                    stopped_by = "max-rounds"
+                    break
+                self._one_round(inject=True)
+            for _ in range(scenario.settle_rounds):
+                self._one_round(inject=False)
+            if not scenario.topology.auto_interpret:
+                # Off-line mode: the whole DAG is interpreted only now.
+                for shim in self.cluster.shims.values():
+                    shim.interpret_now()
+            self.driver.final_sweep(self.cluster, max(0, self.rounds_run - 1))
+            self.result = self._collect(stopped_by, time.perf_counter() - start_wall)
+            return self.result
+        finally:
+            if self._owns_storage and self._storage_root is not None:
+                # The temp root is gone after this, so detach storage
+                # from the surviving shims first: the cluster stays
+                # inspectable and drivable post-run (in RAM), instead
+                # of exploding on the next checkpoint or WAL append.
+                for shim in self.cluster.shims.values():
+                    shim.storage = None
+                shutil.rmtree(self._storage_root, ignore_errors=True)
+
+    # -- result assembly -------------------------------------------------------
+
+    def _forks_observed(self) -> int:
+        shim = next(iter(self.cluster.shims.values()), None)
+        return 0 if shim is None else len(shim.dag.forks())
+
+    def _collect(self, stopped_by: str, wall_seconds: float) -> ScenarioResult:
+        cluster = self.cluster
+        driver = self.driver
+        virtual_time = cluster.sim.now
+        delivered = driver.delivered_count
+        return ScenarioResult(
+            scenario=self.scenario.name,
+            protocol=self.scenario.protocol,
+            seed=self.scenario.seed,
+            rounds_run=self.rounds_run,
+            virtual_time=virtual_time,
+            stopped_by=stopped_by,
+            # The strict quantifier: a server left down means the
+            # configured correct set has NOT converged (down_at_end
+            # names the culprits; live-only convergence is derivable).
+            converged=cluster.dags_converged(),
+            requests_issued=driver.issued,
+            requests_delivered=delivered,
+            throughput=(
+                round(delivered / virtual_time, 6) if virtual_time else 0.0
+            ),
+            latency_rounds=LatencyStats.from_samples(driver.latencies_rounds()),
+            latency_time=LatencyStats.from_samples(driver.latencies_time()),
+            wire=cluster.wire_snapshot(),
+            interpreter=cluster.interpreter_snapshot(),
+            storage=cluster.storage_snapshot(),
+            total_blocks=cluster.total_blocks(),
+            forks_observed=self._forks_observed(),
+            crashes=cluster.crashes_performed,
+            restarts=cluster.restarts_performed,
+            down_at_end=tuple(sorted(cluster.down)),
+            probes={
+                name: tuple(series)
+                for name, series in self._probe_series.items()
+            },
+            wall_seconds=round(wall_seconds, 6),
+        )
+
+
+def run_scenario(
+    scenario: Scenario, storage_root: str | Path | None = None
+) -> ScenarioResult:
+    """Build a runner, run it, return the result (the one-liner API)."""
+    return ScenarioRunner(scenario, storage_root=storage_root).run()

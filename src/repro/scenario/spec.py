@@ -1,0 +1,311 @@
+"""The :class:`Scenario` — one declarative, replayable description of a
+whole run.
+
+A scenario bundles everything that previously lived in hand-written
+driver loops: the protocol (by registry name), the topology (server
+count, latency model, round cadence, storage), the workload, the fault
+schedule, the stop condition, the probes and the round budget.  It is
+a frozen value that round-trips through JSON
+(``Scenario.from_json(s.to_json()) == s``) and, for a fixed seed,
+replays to an identical :class:`~repro.scenario.result.ScenarioResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import ScenarioError
+from repro.net.latency import FixedLatency, JitterLatency, LatencyModel
+from repro.protocols.base import ProtocolSpec
+from repro.protocols.bcb import BcbBroadcast, bcb_protocol
+from repro.protocols.brb import Broadcast, brb_protocol
+from repro.protocols.counter import Inc, counter_protocol
+from repro.protocols.pbft import Propose, pbft_protocol
+from repro.protocols.phaseking import PkPropose, phase_king_protocol
+from repro.scenario.faults import FaultSchedule
+from repro.scenario.probes import resolve_probe
+from repro.scenario.stop import AllDelivered, StopCondition
+from repro.scenario.workload import OpenLoopWorkload, Workload
+from repro.storage.blockstore import StorageConfig
+from repro.types import Request, ServerId, make_servers
+
+
+# -- protocol registry ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """A protocol as scenarios see it: the spec plus a deterministic
+    request factory (request ``i`` of any workload, for any seed)."""
+
+    name: str
+    spec: ProtocolSpec
+    make_request: Callable[[int], Request]
+
+
+PROTOCOLS: dict[str, ProtocolEntry] = {
+    "brb": ProtocolEntry("brb", brb_protocol, lambda i: Broadcast(i)),
+    "bcb": ProtocolEntry("bcb", bcb_protocol, lambda i: BcbBroadcast(i)),
+    "counter": ProtocolEntry("counter", counter_protocol, lambda i: Inc(i + 1)),
+    "pbft": ProtocolEntry("pbft", pbft_protocol, lambda i: Propose(f"v{i}")),
+    "phaseking": ProtocolEntry(
+        "phaseking", phase_king_protocol, lambda i: PkPropose(i % 2)
+    ),
+}
+
+
+def resolve_protocol(name: str) -> ProtocolEntry:
+    """Look a protocol up by registry name."""
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown protocol {name!r} (known: {sorted(PROTOCOLS)})"
+        ) from None
+
+
+# -- topology ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """Declarative latency model: ``fixed`` (``delay``) or ``jitter``
+    (uniform in ``[low, high]``)."""
+
+    model: str = "fixed"
+    delay: float = 1.0
+    low: float = 0.5
+    high: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.model not in ("fixed", "jitter"):
+            raise ScenarioError(
+                f"unknown latency model {self.model!r} "
+                f"(known: ['fixed', 'jitter'])"
+            )
+
+    def build(self) -> LatencyModel:
+        if self.model == "fixed":
+            return FixedLatency(self.delay)
+        return JitterLatency(self.low, self.high)
+
+    def to_json_dict(self) -> dict[str, object]:
+        if self.model == "fixed":
+            return {"model": "fixed", "delay": self.delay}
+        return {"model": "jitter", "low": self.low, "high": self.high}
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, object]) -> "LatencySpec":
+        try:
+            return LatencySpec(**data)  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise ScenarioError(f"bad latency spec: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Declarative persistence knobs (presence = storage on)."""
+
+    checkpoint_interval: int = 32
+    segment_max_bytes: int = 64 * 1024
+    prune: bool = True
+
+    def build(self) -> StorageConfig:
+        return StorageConfig(
+            checkpoint_interval=self.checkpoint_interval,
+            segment_max_bytes=self.segment_max_bytes,
+            prune=self.prune,
+        )
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "checkpoint_interval": self.checkpoint_interval,
+            "segment_max_bytes": self.segment_max_bytes,
+            "prune": self.prune,
+        }
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, object]) -> "StorageSpec":
+        try:
+            return StorageSpec(**data)  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise ScenarioError(f"bad storage spec: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Cluster shape and cadence."""
+
+    n: int = 4
+    round_duration: float = 6.0
+    stagger: float = 0.0
+    latency: LatencySpec = field(default_factory=LatencySpec)
+    auto_interpret: bool = True
+    storage: StorageSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ScenarioError(f"topology needs n ≥ 1, got {self.n}")
+
+    def servers(self) -> list[ServerId]:
+        return make_servers(self.n)
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "n": self.n,
+            "round_duration": self.round_duration,
+            "stagger": self.stagger,
+            "latency": self.latency.to_json_dict(),
+            "auto_interpret": self.auto_interpret,
+            "storage": None if self.storage is None else self.storage.to_json_dict(),
+        }
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, object]) -> "Topology":
+        payload = dict(data)
+        latency = payload.pop("latency", None)
+        storage = payload.pop("storage", None)
+        try:
+            return Topology(
+                latency=(
+                    LatencySpec()
+                    if latency is None
+                    else LatencySpec.from_json_dict(latency)  # type: ignore[arg-type]
+                ),
+                storage=(
+                    None
+                    if storage is None
+                    else StorageSpec.from_json_dict(storage)  # type: ignore[arg-type]
+                ),
+                **payload,  # type: ignore[arg-type]
+            )
+        except TypeError as exc:
+            raise ScenarioError(f"bad topology: {exc}") from exc
+
+
+# -- the scenario itself -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative, seed-deterministic description of a whole run."""
+
+    name: str
+    protocol: str
+    description: str = ""
+    seed: int = 0
+    topology: Topology = field(default_factory=Topology)
+    workload: Workload = field(default_factory=OpenLoopWorkload)
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+    stop: StopCondition = field(default_factory=AllDelivered)
+    probes: tuple[str, ...] = ()
+    max_rounds: int = 64
+    settle_rounds: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "probes", tuple(self.probes))
+        resolve_protocol(self.protocol)
+        for probe in self.probes:
+            resolve_probe(probe)
+        self.faults.validate(self.topology.servers())
+        sender = self.workload.sender
+        if sender.startswith("fixed:"):
+            pinned = sender.split(":", 1)[1]
+            if pinned not in self.topology.servers():
+                raise ScenarioError(
+                    f"workload sender {sender!r} names a server outside the "
+                    f"topology (configured: {self.topology.servers()})"
+                )
+            byz = self.faults.byzantine_servers()
+            if pinned in byz:
+                raise ScenarioError(
+                    f"workload sender {sender!r} is a byzantine seat; "
+                    f"requests enter at correct servers"
+                )
+        elif sender not in ("round-robin", "random"):
+            raise ScenarioError(
+                f"unknown sender policy {sender!r} (expected 'round-robin', "
+                f"'random', or 'fixed:<server>')"
+            )
+        if self.max_rounds < 1:
+            raise ScenarioError(f"max_rounds must be ≥ 1, got {self.max_rounds}")
+        if self.settle_rounds < 0:
+            raise ScenarioError(
+                f"settle_rounds must be ≥ 0, got {self.settle_rounds}"
+            )
+
+    def with_seed(self, seed: int) -> "Scenario":
+        """The same scenario under a different seed."""
+        return dataclasses.replace(self, seed=seed)
+
+    def needs_storage(self) -> bool:
+        return self.topology.storage is not None or self.faults.needs_storage()
+
+    # -- JSON ------------------------------------------------------------------
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "protocol": self.protocol,
+            "description": self.description,
+            "seed": self.seed,
+            "topology": self.topology.to_json_dict(),
+            "workload": self.workload.to_json_dict(),
+            "faults": self.faults.to_json_list(),
+            "stop": self.stop.to_json_dict(),
+            "probes": list(self.probes),
+            "max_rounds": self.max_rounds,
+            "settle_rounds": self.settle_rounds,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, object]) -> "Scenario":
+        payload = dict(data)
+        try:
+            topology = payload.pop("topology", None)
+            workload = payload.pop("workload", None)
+            faults = payload.pop("faults", None)
+            stop = payload.pop("stop", None)
+            probes = payload.pop("probes", ())
+            return Scenario(
+                topology=(
+                    Topology()
+                    if topology is None
+                    else Topology.from_json_dict(topology)  # type: ignore[arg-type]
+                ),
+                workload=(
+                    OpenLoopWorkload()
+                    if workload is None
+                    else Workload.from_json_dict(workload)  # type: ignore[arg-type]
+                ),
+                faults=(
+                    FaultSchedule()
+                    if faults is None
+                    else FaultSchedule.from_json_list(faults)  # type: ignore[arg-type]
+                ),
+                stop=(
+                    AllDelivered()
+                    if stop is None
+                    else StopCondition.from_json_dict(stop)  # type: ignore[arg-type]
+                ),
+                probes=tuple(probes),  # type: ignore[arg-type]
+                **payload,  # type: ignore[arg-type]
+            )
+        except TypeError as exc:
+            raise ScenarioError(f"bad scenario document: {exc}") from exc
+
+    @staticmethod
+    def from_json(text: str) -> "Scenario":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"scenario is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ScenarioError("scenario JSON must be an object")
+        return Scenario.from_json_dict(data)

@@ -1,0 +1,145 @@
+"""Declarative stop conditions for scenario runs.
+
+``run_until(lambda c: ...)`` predicates were copied, slightly mutated,
+across every benchmark and example.  Stop conditions make the common
+ones first-class values that serialize with the scenario: a run stops
+when its condition holds (``stopped_by = "stop-condition"``) or when
+``max_rounds`` is exhausted (``stopped_by = "max-rounds"`` — in a
+correct run of a liveness scenario that usually means a bug, which is
+exactly what the result should surface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ScenarioError
+from repro.scenario._kinds import decode_kind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario.runner import ScenarioRunner
+
+_STOP_KINDS: dict[str, type["StopCondition"]] = {}
+
+
+@dataclass(frozen=True)
+class StopCondition:
+    """Base class of the declarative stop conditions."""
+
+    kind = "stop"
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        # Only classes declaring their own kind are decodable; abstract
+        # intermediaries (e.g. the And/Or base) inherit `kind` and must
+        # not be reachable from JSON.
+        if "kind" in cls.__dict__:
+            _STOP_KINDS[cls.kind] = cls
+
+    def satisfied(self, runner: "ScenarioRunner") -> bool:
+        raise NotImplementedError
+
+    def to_json_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {"kind": self.kind}
+        data.update(self._payload())
+        return data
+
+    def _payload(self) -> dict[str, object]:
+        return {}
+
+    @staticmethod
+    def from_json_dict(data: dict[str, object]) -> "StopCondition":
+        return decode_kind(_STOP_KINDS, StopCondition, data, "stop-condition")
+
+    @classmethod
+    def _from_payload(cls, data: dict[str, object]) -> "StopCondition":
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class AllDelivered(StopCondition):
+    """The workload is exhausted and every issued request is delivered
+    at every configured correct server."""
+
+    kind = "all-delivered"
+
+    def satisfied(self, runner: "ScenarioRunner") -> bool:
+        return runner.driver.exhausted() and runner.driver.all_delivered_now()
+
+
+@dataclass(frozen=True)
+class DagsConverged(StopCondition):
+    """All configured correct servers hold identical DAGs (and none is
+    down, unless ``live_only``)."""
+
+    kind = "dags-converged"
+
+    live_only: bool = False
+
+    def satisfied(self, runner: "ScenarioRunner") -> bool:
+        return runner.cluster.dags_converged(live_only=self.live_only)
+
+    def _payload(self) -> dict[str, object]:
+        return {"live_only": self.live_only}
+
+
+@dataclass(frozen=True)
+class RoundsElapsed(StopCondition):
+    """Plain round budget — for open-ended soak/pruning scenarios."""
+
+    kind = "rounds-elapsed"
+
+    rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ScenarioError(f"rounds must be ≥ 1, got {self.rounds}")
+
+    def satisfied(self, runner: "ScenarioRunner") -> bool:
+        return runner.rounds_run >= self.rounds
+
+    def _payload(self) -> dict[str, object]:
+        return {"rounds": self.rounds}
+
+
+@dataclass(frozen=True)
+class _Composite(StopCondition):
+    conditions: tuple[StopCondition, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "conditions", tuple(self.conditions))
+        if not self.conditions:
+            raise ScenarioError(f"{self.kind} needs at least one condition")
+
+    def _payload(self) -> dict[str, object]:
+        return {"conditions": [c.to_json_dict() for c in self.conditions]}
+
+    @classmethod
+    def _from_payload(cls, data: dict[str, object]) -> "StopCondition":
+        raw = data.get("conditions")
+        if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+            raise ScenarioError(f"{cls.kind} needs a list of conditions")
+        return cls(
+            conditions=tuple(StopCondition.from_json_dict(d) for d in raw)
+        )
+
+
+@dataclass(frozen=True)
+class And(_Composite):
+    """All sub-conditions hold."""
+
+    kind = "and"
+
+    def satisfied(self, runner: "ScenarioRunner") -> bool:
+        return all(c.satisfied(runner) for c in self.conditions)
+
+
+@dataclass(frozen=True)
+class Or(_Composite):
+    """Any sub-condition holds."""
+
+    kind = "or"
+
+    def satisfied(self, runner: "ScenarioRunner") -> bool:
+        return any(c.satisfied(runner) for c in self.conditions)

@@ -148,10 +148,32 @@ class TestObservationsWithAllCorrectServersDown:
             cluster.crash(server)
         return cluster
 
-    def test_dags_converged_vacuous(self, tmp_path):
+    def test_dags_converged_vacuous_only_for_live_only(self, tmp_path):
         cluster = self._downed_cluster(tmp_path)
         assert cluster.correct_servers == []
-        assert cluster.dags_converged() is True
+        # Default quantifies over the configured correct set: crashed
+        # servers have demonstrably not converged.
+        assert cluster.dags_converged() is False
+        # The live-only view keeps the vacuous-truth reading.
+        assert cluster.dags_converged(live_only=True) is True
+
+    def test_all_delivered_not_vacuous_with_everyone_down(self, tmp_path):
+        """Regression: with every correct server crashed, the default
+        all_delivered used to return True, terminating
+        run_until(all_delivered) spuriously mid-CrashPlan."""
+        cluster = self._downed_cluster(tmp_path)
+        assert cluster.all_delivered(L) is False
+        assert cluster.all_delivered(L, live_only=True) is True
+
+    def test_all_delivered_false_with_one_correct_server_down(self, tmp_path):
+        config = ClusterConfig(storage_dir=tmp_path)
+        cluster = Cluster(counter_protocol, n=2, config=config)
+        cluster.request_all(L, Inc(1))
+        cluster.run_rounds(3)
+        assert cluster.all_delivered(L) is True
+        cluster.crash(cluster.servers[0])
+        assert cluster.all_delivered(L) is False
+        assert cluster.all_delivered(L, live_only=True) is True
 
     def test_total_blocks_zero(self, tmp_path):
         cluster = self._downed_cluster(tmp_path)
@@ -162,7 +184,8 @@ class TestObservationsWithAllCorrectServersDown:
         cluster = Cluster(counter_protocol, n=2, config=config)
         cluster.run_rounds(1)
         cluster.crash(cluster.servers[0])
-        assert cluster.dags_converged() is True
+        assert cluster.dags_converged() is False
+        assert cluster.dags_converged(live_only=True) is True
         assert cluster.total_blocks() >= 1
 
 
