@@ -63,6 +63,7 @@ from repro.runtime import (
     equivalent_traces,
     quick_cluster,
 )
+from repro.horizon import HorizonTracker, durable_frontier, horizons_agree
 from repro.scenario import (
     Scenario,
     ScenarioResult,
@@ -100,6 +101,9 @@ __all__ = [
     "GossipConfig",
     "HealingPartition",
     "HmacScheme",
+    "HorizonTracker",
+    "durable_frontier",
+    "horizons_agree",
     "Interpreter",
     "JitterLatency",
     "KeyRing",

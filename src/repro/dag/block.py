@@ -33,17 +33,32 @@ from repro.crypto.signatures import Signature
 from repro.dag import codec
 from repro.types import BlockRef, Label, Request, SeqNum, ServerId
 
-#: Domain tag for block reference hashes.
-_REF_DOMAIN = "blockdag/ref/v1"
+#: Domain tag for block reference hashes.  v2: ``ref(B)`` additionally
+#: covers the piggybacked horizon claim ``hz``, so claims are
+#: authenticated by the block signature (``sign`` covers ``ref(B)``) and
+#: a relaying byzantine server cannot rewrite another server's claim.
+_REF_DOMAIN = "blockdag/ref/v2"
+
+#: A horizon claim: the builder's durable checkpoint frontier at seal
+#: time, as ``(server, seq)`` pairs — "every block of ``server`` with
+#: sequence number ≤ ``seq`` in my DAG past is covered by my latest
+#: durable checkpoint".  Empty when the builder runs without storage.
+HorizonClaim = tuple[tuple[ServerId, SeqNum], ...]
 
 
 @dataclass(frozen=True)
 class Block:
-    """An immutable block (Definition 3.1).
+    """An immutable block (Definition 3.1, plus the GC extension).
 
     Equality and hashing are by ``ref`` — i.e. by content excluding the
     signature — matching the paper's identification of ``B`` with
     ``ref(B)``.
+
+    ``hz`` is the coordinated-GC piggyback (see :mod:`repro.horizon`):
+    the builder's durable checkpoint frontier, stamped into every block
+    it seals.  Embedding the claim in the block keeps horizon agreement
+    a pure function of the DAG — no extra protocol, the paper's central
+    move applied to garbage collection.
     """
 
     n: ServerId
@@ -51,6 +66,7 @@ class Block:
     preds: tuple[BlockRef, ...]
     rs: tuple[tuple[Label, Request], ...]
     sigma: Signature = field(default=Signature(b""), compare=False)
+    hz: HorizonClaim = ()
 
     def __post_init__(self) -> None:
         if self.k < 0:
@@ -58,7 +74,7 @@ class Block:
 
     @cached_property
     def ref(self) -> BlockRef:
-        """``ref(B)`` — content hash over ``(n, k, preds, rs)``, not ``σ``."""
+        """``ref(B)`` — content hash over ``(n, k, preds, rs, hz)``, not ``σ``."""
         return BlockRef(
             hash_fields(
                 [
@@ -66,6 +82,7 @@ class Block:
                     codec.encode(self.k),
                     codec.encode([str(p) for p in self.preds]),
                     codec.encode(list(self.rs)),
+                    codec.encode([(str(s), k) for s, k in self.hz]),
                 ],
                 domain=_REF_DOMAIN,
             )
@@ -88,7 +105,8 @@ class Block:
         """
         payload = len(codec.encode(list(self.rs)))
         header = len(codec.encode(str(self.n))) + len(codec.encode(self.k))
-        return header + 32 * len(self.preds) + payload + 64
+        claim = len(codec.encode([(str(s), k) for s, k in self.hz]))
+        return header + 32 * len(self.preds) + payload + claim + 64
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Block):
@@ -113,6 +131,25 @@ def genesis_block(
     return Block(n=server, k=0, preds=(), rs=tuple(requests))
 
 
+def parent_of(block: Block, preds: Sequence[Block]) -> Block | None:
+    """The unique parent (same builder, sequence ``k - 1``) among
+    ``preds`` — the resolved, deduplicated predecessor blocks in their
+    reference order.
+
+    THE parent-selection rule: Algorithm 2's copy-on-write (line 4) and
+    the checkpoint delta encoding both key on it, and the two must pick
+    the *same* block (a checkpoint delta applied over a different fork
+    sibling's ``PIs`` would silently corrupt rehydrated state) — hence
+    one shared definition instead of two lookalikes.
+    """
+    if block.is_genesis:
+        return None
+    for pred in preds:
+        if pred.n == block.n and pred.k == block.k - 1:
+            return pred
+    return None
+
+
 class BlockBuilder:
     """Mutable accumulator for the block a server is currently building.
 
@@ -127,6 +164,7 @@ class BlockBuilder:
         self._k: SeqNum = 0
         self._preds: list[BlockRef] = []
         self._seen_preds: set[BlockRef] = set()
+        self._claim: HorizonClaim = ()
 
     @property
     def next_seq(self) -> SeqNum:
@@ -137,6 +175,16 @@ class BlockBuilder:
     def pending_preds(self) -> tuple[BlockRef, ...]:
         """References accumulated for the in-progress block."""
         return tuple(self._preds)
+
+    @property
+    def claim(self) -> HorizonClaim:
+        """The horizon claim the next sealed block will carry."""
+        return self._claim
+
+    def set_claim(self, claim: HorizonClaim) -> None:
+        """Update the durable-frontier claim stamped into sealed blocks
+        (the shim calls this after every checkpoint write)."""
+        self._claim = tuple(claim)
 
     def add_pred(self, ref: BlockRef) -> bool:
         """Append a predecessor reference (Algorithm 1 line 8).
@@ -169,6 +217,7 @@ class BlockBuilder:
             k=self._k,
             preds=tuple(self._preds),
             rs=tuple(requests),
+            hz=self._claim,
         )
         sealed = Block(
             n=unsigned.n,
@@ -176,6 +225,7 @@ class BlockBuilder:
             preds=unsigned.preds,
             rs=unsigned.rs,
             sigma=sign(unsigned.signing_payload()),
+            hz=unsigned.hz,
         )
         self._k += 1
         self._preds = [sealed.ref]

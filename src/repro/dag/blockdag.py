@@ -140,6 +140,19 @@ class Validator:
         """Whether ``valid(s, B)`` holds — the boolean view of Def. 3.3."""
         return self.validity(block) is Validity.VALID
 
+    def condemn(self, ref: BlockRef) -> None:
+        """Cache a permanent ``INVALID`` verdict for ``ref``.
+
+        The coordinated-GC validity extension: gossip condemns a block
+        whose chain position falls strictly below the agreed horizon
+        (its inputs are gone everywhere, by agreement), and the cached
+        verdict makes every buffered descendant invalid through the
+        ordinary check-(iii) cascade — condemned *with cause* instead of
+        waiting forever on a predecessor that will never be admitted.
+        The verdict is permanent for this view because the agreed
+        horizon only advances."""
+        self._cache[ref] = Validity.INVALID
+
     def _signature_ok(self, block: Block) -> bool:
         """Check (i) of Definition 3.3 for this particular copy."""
         return self._verify(block.n, block.signing_payload(), block.sigma)
@@ -228,6 +241,11 @@ class BlockDag:
         for seq in sorted(chains):
             result.extend(self._store[ref] for ref in chains[seq])
         return result
+
+    def refs_at(self, server: ServerId, k: SeqNum) -> tuple[BlockRef, ...]:
+        """All block references at chain position ``(server, k)`` —
+        usually zero or one, two or more when the server equivocated."""
+        return tuple(self._by_server.get(server, {}).get(k, ()))
 
     def tip(self, server: ServerId) -> Block | None:
         """The highest-sequence block of ``server`` (first fork branch if
@@ -334,8 +352,11 @@ class BlockDag:
             raise MissingPredecessorError(f"block not in DAG: {ref[:8]}…")
         freed = 0
         if block.rs:
+            # ``hz`` survives: the claim is the input to horizon
+            # agreement, which must stay recomputable from the DAG.
             stub = Block(
-                n=block.n, k=block.k, preds=block.preds, rs=(), sigma=block.sigma
+                n=block.n, k=block.k, preds=block.preds, rs=(),
+                sigma=block.sigma, hz=block.hz,
             )
             stub.__dict__["ref"] = ref
             freed = block.wire_size() - stub.wire_size()

@@ -20,6 +20,16 @@ the pseudocode's ``when`` clauses, one method each:
 * lines 14–18 → :meth:`Gossip.disseminate` seals the current block,
   inserts it, sends it to everyone and rolls over.
 
+Coordinated-GC validity extension (PR 4): when wired to a
+:class:`~repro.horizon.tracker.HorizonTracker`, an *arriving* block
+whose chain position is already below the agreed horizon is condemned
+with cause — its inputs are gone everywhere by ``n - f`` agreement, so
+admitting it could only stall.  The cached ``INVALID`` verdict makes
+buffered descendants invalid through the ordinary Definition 3.3 (iii)
+cascade.  Only byzantine blocks (withheld fork siblings) can arrive
+that late: any honest block travels ahead of the quorum of claims that
+advances the horizon over it (see :mod:`repro.horizon.tracker`).
+
 The module never interprets anything — the strict separation the paper
 stresses ("independently, indicated by the dotted line", Figure 1) —
 but it exposes an ``on_insert`` callback so the shim can trigger
@@ -61,6 +71,9 @@ class GossipMetrics:
     blocks_received: int = 0
     duplicate_blocks: int = 0
     invalid_blocks: int = 0
+    #: Arriving blocks rejected because their chain position was already
+    #: below the agreed GC horizon (coordinated-GC validity rule).
+    condemned_below_horizon: int = 0
     blocks_inserted: int = 0
     blocks_disseminated: int = 0
     fwd_requests_sent: int = 0
@@ -89,6 +102,12 @@ class Gossip:
         created when omitted.
     on_insert:
         Callback fired after every successful ``G.insert(B)``.
+    horizon:
+        Optional agreed-horizon view (duck-typed: anything with a
+        ``condemns(block)`` method, normally a
+        :class:`~repro.horizon.tracker.HorizonTracker`).  When given,
+        arriving blocks below the agreed horizon are condemned with
+        cause instead of buffered.
     """
 
     def __init__(
@@ -100,6 +119,7 @@ class Gossip:
         dag: BlockDag | None = None,
         config: GossipConfig | None = None,
         on_insert: Callable[[Block], None] | None = None,
+        horizon: object | None = None,
     ) -> None:
         self.server = server
         self.keyring = keyring
@@ -108,6 +128,7 @@ class Gossip:
         self.dag = dag if dag is not None else BlockDag()
         self.config = config if config is not None else GossipConfig()
         self.on_insert = on_insert
+        self.horizon = horizon
         self.builder = BlockBuilder(server)
         self.blks: dict[BlockRef, Block] = {}
         #: Buffered blocks indexed by the predecessor they wait for:
@@ -155,6 +176,16 @@ class Gossip:
             # never received, so it can neither occupy the buffer slot of
             # the honest copy (they share a ref) nor waste FWD traffic.
             self.metrics.invalid_blocks += 1
+            return
+        if self.horizon is not None and self.horizon.condemns(block):  # type: ignore[attr-defined]
+            # Coordinated-GC validity rule: the block's position is
+            # below the agreed horizon — its inputs were retired by
+            # n - f agreement, so it can never be interpreted here.
+            # Condemn with cause (buffered descendants are discarded by
+            # the cached-INVALID cascade) instead of stalling them.
+            self.metrics.condemned_below_horizon += 1
+            self.validator.condemn(block.ref)
+            self._queue_unblocked(block.ref)
             return
         self.blks[block.ref] = block  # lines 4–5
         self.forwarding.satisfied(block.ref)
@@ -206,6 +237,22 @@ class Gossip:
             return True
         missing = [p for p in dict.fromkeys(block.preds) if p not in self.dag]
         if verdict is Validity.VALID and not missing:
+            if self.horizon is not None and any(
+                self.dag.payload_pruned(p) for p in dict.fromkeys(block.preds)
+            ):
+                # Reference-below-horizon validity, second half: the
+                # block's position is fresh but it references a block
+                # whose data the agreed horizon already retired
+                # (payload destroyed, checkpoint entry skeletonized).
+                # It could never be interpreted here — only a byzantine
+                # re-reference reaches this deep (destruction requires
+                # every server's reference to exist already).  Condemn
+                # with cause instead of admitting a permanent stall.
+                del self.blks[block.ref]
+                self.metrics.condemned_below_horizon += 1
+                self.validator.condemn(block.ref)
+                self._queue_unblocked(block.ref)
+                return True
             self._insert(block)  # line 7 (listener drains waiters)
             del self.blks[block.ref]  # line 9
             return True
@@ -348,6 +395,23 @@ class Gossip:
         return block
 
     # -- introspection ------------------------------------------------------------
+
+    def buffered_references(self) -> set[BlockRef]:
+        """Every predecessor reference named by a currently buffered
+        block — data the GC layer must not destroy, since admitting the
+        buffered block will need it (input to
+        :func:`repro.storage.gc.prune`'s protection set)."""
+        refs: set[BlockRef] = set()
+        for block in self.blks.values():
+            refs.update(block.preds)
+        return refs
+
+    def missing_predecessors(self) -> int:
+        """Distinct references currently known-missing (buffered blocks
+        are waiting on them).  Steady-state gossip keeps this near zero;
+        a large value means the server is visibly catching up — the
+        shim defers data destruction while that holds."""
+        return len(self._waiting)
 
     def blocks_behind(self) -> int:
         """Height gap between our chain tip and the most advanced peer's

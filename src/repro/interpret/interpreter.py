@@ -49,7 +49,7 @@ import weakref
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from repro.dag.block import Block
+from repro.dag.block import Block, parent_of
 from repro.dag.blockdag import BlockDag
 from repro.dag.traversal import eligible_frontier
 from repro.errors import PrunedStateError, SimulationError
@@ -73,6 +73,13 @@ class IndicationEvent:
 
 #: Scheduler callback: pick the next block from the eligible frontier.
 ChooseFn = Callable[[list[Block]], Block]
+
+#: Rehydration callback: reconstruct a released block's annotation from
+#: durable storage — ``(state, active labels, own labels)``, or ``None``
+#: when the covering checkpoint no longer holds it.
+RehydrateFn = Callable[
+    [BlockRef], "tuple[BlockState, frozenset[Label], frozenset[Label]] | None"
+]
 
 
 class Interpreter:
@@ -124,8 +131,19 @@ class Interpreter:
         #: stay in ``interpreted`` but their annotations are gone.
         self.released: set[BlockRef] = set()
         self.events: list[IndicationEvent] = []
+        #: Optional hook reconstructing a released predecessor's
+        #: annotation from the covering checkpoint (set by the shim when
+        #: durable storage is configured).  With it, a late reference to
+        #: a locally-pruned block *rehydrates* instead of stalling.
+        self.rehydrator: RehydrateFn | None = None
         self._states: dict[BlockRef, BlockState] = {}
         self._active_labels: dict[BlockRef, frozenset[Label]] = {}
+        #: Per-block set of labels the block itself stepped (the
+        #: ``owned`` set of :meth:`interpret_block`) — with copy-on-write
+        #: state sharing this is the block's *delta* over its parent,
+        #: which checkpoints persist to delta-encode annotations and
+        #: rehydration uses to rebuild a pruned chain's ``PIs``.
+        self._own_labels: dict[BlockRef, frozenset[Label]] = {}
         # Incremental scheduler state (unused when incremental=False):
         # per-uninterpreted-block count of uninterpreted distinct preds,
         # the ready set plus a canonical-order heap over it (stale heap
@@ -142,6 +160,9 @@ class Interpreter:
         self.messages_delivered = 0
         self.messages_materialized = 0
         self.request_steps = 0
+        #: Released annotations reconstructed from the covering
+        #: checkpoint on demand (coordinated-GC subsystem).
+        self.rehydrated = 0
         if incremental:
             self.resync_schedule()
             # Register weakly: throwaway interpreters built over a
@@ -174,6 +195,12 @@ class Interpreter:
         is stable across repeated :meth:`eligible` calls and does not
         decay to garbage once pruning stops."""
         return len(self._horizon)
+
+    @property
+    def resident_states(self) -> int:
+        """Annotations currently held in memory — the quantity the
+        coordinated-GC benchmark bounds."""
+        return len(self._states)
 
     def state_of(self, ref: BlockRef) -> BlockState:
         """The ``PIs``/``Ms`` annotation of an interpreted block."""
@@ -208,16 +235,28 @@ class Interpreter:
             return frontier
         usable = []
         for block in frontier:
-            if any(p in self.released for p in block.preds):
-                self._horizon.add(block.ref)
-            else:
+            if self._restore_released_preds(block):
                 usable.append(block)
+            else:
+                self._horizon.add(block.ref)
         return usable
 
     def active_labels(self, ref: BlockRef) -> frozenset[Label]:
         """Labels with a request in the block's strict causal past — the
         set of line 7."""
         labels = self._active_labels.get(ref)
+        if labels is None:
+            if ref in self.released:
+                raise PrunedStateError(
+                    f"annotation pruned below the stable frontier: {ref[:8]}…"
+                )
+            raise SimulationError(f"block not interpreted yet: {ref[:8]}…")
+        return labels
+
+    def own_labels(self, ref: BlockRef) -> frozenset[Label]:
+        """Labels the block itself stepped — its copy-on-write delta
+        over the parent's ``PIs`` (empty for pure-gather blocks)."""
+        labels = self._own_labels.get(ref)
         if labels is None:
             if ref in self.released:
                 raise PrunedStateError(
@@ -273,12 +312,43 @@ class Interpreter:
 
     def _make_ready(self, block: Block) -> None:
         """All predecessors interpreted: queue for interpretation, or
-        divert below the horizon when a predecessor's state is gone."""
-        if any(p in self.released for p in block.preds):
-            self._horizon.add(block.ref)
-        else:
+        divert below the horizon when a predecessor's state is gone
+        (and, with a rehydrator, cannot be reconstructed)."""
+        if self._restore_released_preds(block):
             self._ready.add(block.ref)
             heapq.heappush(self._ready_heap, block.ref)
+        else:
+            self._horizon.add(block.ref)
+
+    def _restore_released_preds(self, block: Block) -> bool:
+        """Ensure every released direct predecessor of ``block`` has its
+        annotation back in memory; ``True`` when interpretation can
+        proceed.  Rehydration is per-predecessor: partially restored
+        states are harmless (the block is diverted anyway and the
+        restored prefix can be re-released by the next pruning pass)."""
+        released = [p for p in set(block.preds) if p in self.released]
+        if not released:
+            return True
+        if self.rehydrator is None:
+            return False
+        return all(self._rehydrate(ref) for ref in released)
+
+    def _rehydrate(self, ref: BlockRef) -> bool:
+        """Pull one released annotation back from the covering
+        checkpoint.  The ref leaves ``released`` — it is a first-class
+        resident annotation again, and a later pruning pass may release
+        it anew once the usual rules hold."""
+        assert self.rehydrator is not None
+        restored = self.rehydrator(ref)
+        if restored is None:
+            return False
+        state, active, own = restored
+        self._states[ref] = state
+        self._active_labels[ref] = active
+        self._own_labels[ref] = own
+        self.released.discard(ref)
+        self.rehydrated += 1
+        return True
 
     def _on_interpreted(self, ref: BlockRef) -> None:
         """Propagate one interpretation to the ready queue: O(out-degree)."""
@@ -309,6 +379,7 @@ class Interpreter:
             )
         self._states.pop(ref, None)
         self._active_labels.pop(ref, None)
+        self._own_labels.pop(ref, None)
         self.released.add(ref)
         if self.incremental:
             # Any already-ready successor lost an input it would read;
@@ -368,8 +439,8 @@ class Interpreter:
             raise SimulationError(
                 f"block not eligible, uninterpreted predecessors: {missing!r}"
             )
-        pruned = [p for p in preds if p.ref in self.released]
-        if pruned:
+        if not self._restore_released_preds(block):
+            pruned = [p for p in preds if p.ref in self.released]
             raise PrunedStateError(
                 f"cannot interpret {block!r}: predecessor annotations "
                 f"pruned below the stable frontier: "
@@ -443,6 +514,7 @@ class Interpreter:
         # Line 12.
         self._states[block.ref] = state
         self._active_labels[block.ref] = active
+        self._own_labels[block.ref] = frozenset(owned)
         self.interpreted.add(block.ref)
         self.blocks_interpreted += 1
         if self.incremental:
@@ -452,13 +524,10 @@ class Interpreter:
     # -- internals ------------------------------------------------------------
 
     def _parent_of(self, block: Block, preds: list[Block]) -> Block | None:
-        """The unique parent (same builder, sequence k-1) among preds."""
-        if block.is_genesis:
-            return None
-        for pred in preds:
-            if pred.n == block.n and pred.k == block.k - 1:
-                return pred
-        return None
+        """The unique parent (same builder, sequence k-1) among preds —
+        the shared rule of :func:`repro.dag.block.parent_of`, which the
+        checkpoint delta encoding must agree with."""
+        return parent_of(block, preds)
 
     def _step(
         self,

@@ -397,21 +397,38 @@ class Cluster:
 
     def interpreter_snapshot(self) -> InterpreterSnapshot:
         """Typed aggregate of interpretation counters across live
-        correct servers."""
-        blocks = delivered = materialized = requests = horizon = 0
-        for shim in self.shims.values():
+        correct servers, with the GC-health counters also broken out per
+        server — interpretability *divergence* (one stalled server among
+        advancing peers) must be visible in scenario output, and a
+        cluster-wide sum cannot show it."""
+        blocks = delivered = materialized = requests = 0
+        horizon = rehydrated = condemned = 0
+        by_server: dict[str, dict[str, int]] = {}
+        for server, shim in self.shims.items():
             interpreter = shim.interpreter
             blocks += interpreter.blocks_interpreted
             delivered += interpreter.messages_delivered
             materialized += interpreter.messages_materialized
             requests += interpreter.request_steps
             horizon += interpreter.below_horizon
+            rehydrated += interpreter.rehydrated
+            condemned += shim.gossip.metrics.condemned_below_horizon
+            by_server[str(server)] = {
+                "below_horizon": interpreter.below_horizon,
+                "rehydrated": interpreter.rehydrated,
+                "condemned_below_horizon": (
+                    shim.gossip.metrics.condemned_below_horizon
+                ),
+            }
         return InterpreterSnapshot(
             blocks_interpreted=blocks,
             messages_delivered=delivered,
             messages_materialized=materialized,
             request_steps=requests,
             below_horizon=horizon,
+            rehydrated=rehydrated,
+            condemned_below_horizon=condemned,
+            by_server=by_server,
         )
 
     def storage_snapshot(self) -> StorageSnapshot:
@@ -453,7 +470,7 @@ class Cluster:
                 totals["blocks_replayed"] += shim.recovery.blocks_replayed
         return StorageSnapshot(**{k: int(v) for k, v in totals.items()})
 
-    def interpreter_metrics(self) -> dict[str, int]:
+    def interpreter_metrics(self) -> dict[str, object]:
         """Aggregated interpretation counters across correct servers
         (dict view of :meth:`interpreter_snapshot`)."""
         return self.interpreter_snapshot().as_dict()

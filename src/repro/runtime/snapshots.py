@@ -54,24 +54,62 @@ class WireSnapshot:
 
 @dataclass(frozen=True)
 class InterpreterSnapshot:
-    """Interpretation counters aggregated across live correct servers."""
+    """Interpretation counters aggregated across live correct servers.
+
+    The three GC-health counters are additionally broken out
+    *per server* in ``by_server``: servers diverging on interpretability
+    (the PR 3 `mixed-faults` hazard) is exactly the failure a cluster-
+    wide sum can hide — one server stalled while the rest advance still
+    moves the total.
+    """
 
     blocks_interpreted: int = 0
     messages_delivered: int = 0
     messages_materialized: int = 0
     request_steps: int = 0
     #: Blocks permanently uninterpretable because a direct predecessor's
-    #: annotation was pruned below the stable frontier (only a byzantine
-    #: builder can produce one).  Non-zero means interpretation of every
-    #: descendant has stalled — surface it, never hide it.
+    #: annotation was pruned below the stable frontier and could not be
+    #: rehydrated.  Non-zero means interpretation of every descendant
+    #: has stalled — surface it, never hide it.  With coordinated GC
+    #: this stays zero: late references either rehydrate or are
+    #: condemned with cause at gossip ingress.
     below_horizon: int = 0
+    #: Released annotations reconstructed on demand from the covering
+    #: checkpoint (the rehydration path working as designed).
+    rehydrated: int = 0
+    #: Arriving blocks rejected because their position was already below
+    #: the agreed horizon (the coordinated-GC validity rule firing).
+    condemned_below_horizon: int = 0
+    #: Per-server ``{below_horizon, rehydrated, condemned_below_horizon}``.
+    by_server: dict[str, dict[str, int]] = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, int]:
-        return asdict(self)
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "blocks_interpreted": self.blocks_interpreted,
+            "messages_delivered": self.messages_delivered,
+            "messages_materialized": self.messages_materialized,
+            "request_steps": self.request_steps,
+            "below_horizon": self.below_horizon,
+            "rehydrated": self.rehydrated,
+            "condemned_below_horizon": self.condemned_below_horizon,
+            "by_server": {
+                server: {k: counters[k] for k in sorted(counters)}
+                for server, counters in sorted(self.by_server.items())
+            },
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "InterpreterSnapshot":
-        return cls(**{f.name: int(data.get(f.name, 0)) for f in fields(cls)})  # type: ignore[arg-type]
+        scalars = {
+            f.name: int(data.get(f.name, 0))  # type: ignore[arg-type]
+            for f in fields(cls)
+            if f.name != "by_server"
+        }
+        by_server = {
+            str(server): {str(k): int(v) for k, v in counters.items()}  # type: ignore[union-attr]
+            for server, counters in dict(data.get("by_server", {})).items()  # type: ignore[arg-type]
+        }
+        return cls(by_server=by_server, **scalars)
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,18 @@ PROBES: dict[str, ProbeFn] = {
         r.cluster.interpreter_snapshot().blocks_interpreted
     ),
     "wal-bytes": lambda r: float(r.cluster.storage_snapshot().wal_bytes),
+    # Coordinated-GC health (PR 4): annotations resident in memory
+    # (the quantity the horizon bounds), blocks stalled below a pruned
+    # predecessor, and successful checkpoint rehydrations.
+    "resident-states": lambda r: float(
+        sum(s.interpreter.resident_states for s in r.cluster.shims.values())
+    ),
+    "below-horizon": lambda r: float(
+        sum(s.interpreter.below_horizon for s in r.cluster.shims.values())
+    ),
+    "rehydrated": lambda r: float(
+        sum(s.interpreter.rehydrated for s in r.cluster.shims.values())
+    ),
 }
 
 

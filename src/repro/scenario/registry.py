@@ -120,14 +120,14 @@ def _mixed_faults(smoke: bool) -> Scenario:
         description="All three fault families in one timeline (n=7, "
         "f=2): an equivocator seat, a crash + restart-from-disk, and a "
         "partition that heals — the 'any schedule of faults' pitch.",
-        # prune=False: with an equivocator in play, a partition-delayed
-        # fork sibling can reference blocks below the pruning horizon,
-        # stalling interpretation of every honest descendant (the
-        # below-horizon hazard — see ROADMAP).  Checkpoints stay on for
-        # the crash-restart path; only state GC is held back.
+        # prune=True again (PR 4): the coordinated GC horizon freezes
+        # during the partition, so the equivocator's delayed fork
+        # sibling rehydrates its pruned inputs from the covering
+        # checkpoint instead of stalling every honest descendant (the
+        # PR 3 below-horizon hazard, closed).
         topology=Topology(
             n=7,
-            storage=StorageSpec(checkpoint_interval=8, prune=False),
+            storage=StorageSpec(checkpoint_interval=8, prune=True),
         ),
         workload=OpenLoopWorkload(rate=1 if smoke else 2, rounds=4 if smoke else 6),
         faults=FaultSchedule(
@@ -199,6 +199,49 @@ def _pruning(smoke: bool) -> Scenario:
     )
 
 
+def _gc_horizon_soak(smoke: bool) -> Scenario:
+    return Scenario(
+        name="gc-horizon-soak",
+        protocol="counter",
+        description="Long-run ledger soak under an equivocator and a "
+        "crash/restart with coordinated-horizon GC: resident "
+        "annotations and WAL stay bounded while every honest block is "
+        "interpreted everywhere (the scenario behind "
+        "benchmarks/bench_gc_horizon.py).",
+        topology=Topology(
+            n=7,
+            storage=StorageSpec(
+                checkpoint_interval=8, segment_max_bytes=8192, prune=True
+            ),
+        ),
+        workload=OpenLoopWorkload(
+            rate=1, rounds=8 if smoke else 20, shared_label="ledger"
+        ),
+        faults=FaultSchedule(
+            (
+                ByzantineFault(
+                    server="s7", behaviour="equivocator",
+                    equivocate_at=(2,) if smoke else (2, 9),
+                ),
+                CrashFault(
+                    server="s3",
+                    crash_round=3 if smoke else 5,
+                    restart_round=6 if smoke else 10,
+                ),
+            )
+        ),
+        stop=And((RoundsElapsed(10 if smoke else 24), AllDelivered())),
+        probes=(
+            "total-blocks",
+            "resident-states",
+            "wal-bytes",
+            "below-horizon",
+            "rehydrated",
+        ),
+        max_rounds=20 if smoke else 48,
+    )
+
+
 def _offline_interpretation(smoke: bool) -> Scenario:
     return Scenario(
         name="offline-interpretation",
@@ -223,6 +266,7 @@ REGISTRY: dict[str, ScenarioBuilder] = {
     "saturation": _saturation,
     "closed-loop": _closed_loop,
     "pruning": _pruning,
+    "gc-horizon-soak": _gc_horizon_soak,
     "offline-interpretation": _offline_interpretation,
 }
 

@@ -112,12 +112,17 @@ class StorageSpec:
     checkpoint_interval: int = 32
     segment_max_bytes: int = 64 * 1024
     prune: bool = True
+    #: Coordinated-horizon GC (claims + agreed horizon + rehydration).
+    #: ``False`` = the seed's Lemma-A.6 full-reference pruner, kept as
+    #: the comparison arm for ``bench_gc_horizon``.
+    horizon_gc: bool = True
 
     def build(self) -> StorageConfig:
         return StorageConfig(
             checkpoint_interval=self.checkpoint_interval,
             segment_max_bytes=self.segment_max_bytes,
             prune=self.prune,
+            horizon_gc=self.horizon_gc,
         )
 
     def to_json_dict(self) -> dict[str, object]:
@@ -125,6 +130,7 @@ class StorageSpec:
             "checkpoint_interval": self.checkpoint_interval,
             "segment_max_bytes": self.segment_max_bytes,
             "prune": self.prune,
+            "horizon_gc": self.horizon_gc,
         }
 
     @staticmethod

@@ -25,16 +25,19 @@ from repro.crypto.keys import KeyRing
 from repro.dag.block import Block
 from repro.dag.blockdag import BlockDag
 from repro.gossip.module import Gossip, GossipConfig
+from repro.horizon.claims import durable_frontier
+from repro.horizon.tracker import HorizonTracker
+from repro.interpret.instance import BlockState
 from repro.interpret.interpreter import IndicationEvent, Interpreter
 from repro.net.message import Envelope
 from repro.net.transport import Transport
 from repro.protocols.base import ProtocolSpec
 from repro.requests import RequestBuffer
 from repro.storage.blockstore import ServerStorage
-from repro.storage.checkpoint import capture_checkpoint
+from repro.storage.checkpoint import capture_checkpoint, restore_block_state
 from repro.storage.gc import prune
 from repro.storage.recover import RecoveryReport, recover_shim_state
-from repro.types import Indication, Label, Request, ServerId
+from repro.types import BlockRef, Indication, Label, Request, ServerId
 
 #: User-facing indication callback: ``(label, indication)``.
 IndicationHandler = Callable[[Label, Indication], None]
@@ -98,6 +101,14 @@ class Shim:
         self.storage = storage
         self.rqsts = RequestBuffer()  # line 2
         self.dag = BlockDag()  # line 3
+        #: Coordinated GC is active when storage is configured with
+        #: ``horizon_gc`` (the default): claims are stamped, pruning
+        #: follows the agreed horizon, and below-horizon arrivals are
+        #: condemned.  Without storage the tracker still observes peer
+        #: claims (it is cheap and keeps the horizon view comparable
+        #: across servers) but drives nothing.
+        self.coordinated_gc = storage is not None and storage.config.horizon_gc
+        self.horizon = HorizonTracker(keyring.servers, dag=self.dag)
         self.gossip = Gossip(  # line 4
             server,
             keyring,
@@ -106,6 +117,7 @@ class Shim:
             dag=self.dag,
             config=config,
             on_insert=self._on_insert,
+            horizon=self.horizon if self.coordinated_gc else None,
         )
         self.interpreter = Interpreter(  # line 5
             self.dag,
@@ -113,6 +125,8 @@ class Shim:
             keyring.servers,
             on_indication=self._on_event,
         )
+        if self.coordinated_gc:
+            self.interpreter.rehydrator = self._rehydrate_state
         #: Indications delivered to the user of ``P`` at this server.
         self.indications: list[tuple[Label, Indication]] = []
         #: Report of the restart-from-disk performed at construction,
@@ -120,10 +134,24 @@ class Shim:
         self.recovery: RecoveryReport | None = None
         self._interpreted_at_checkpoint = 0
         self._last_checkpoint = None
+        #: Consecutive checkpoint passes each block has been
+        #: destruction-eligible (the pruner's hysteresis state; resets
+        #: naturally on restart — a recovered server must re-earn every
+        #: streak).
+        self._destruction_streaks: dict[BlockRef, int] = {}
         if storage is not None and storage.has_data():
             self.recovery = recover_shim_state(self)
             self._interpreted_at_checkpoint = self.interpreter.blocks_interpreted
             self._last_checkpoint = self.recovery.checkpoint
+            if self.coordinated_gc and self._last_checkpoint is not None:
+                # Resume claiming where the previous incarnation left
+                # off: the recovered checkpoint is our durable frontier.
+                self.gossip.builder.set_claim(
+                    durable_frontier(
+                        self.dag, self.keyring.servers,
+                        self._last_checkpoint.refs,
+                    )
+                )
 
     # -- the interface of P (lines 6–9) ------------------------------------------
 
@@ -186,12 +214,43 @@ class Shim:
         only dropped once the checkpoint written *now* covers their
         skeletons — so (latest checkpoint + remaining WAL) always
         reconstructs the full state.
+
+        With coordinated GC the pruner follows the agreed horizon
+        (memory released above it stays rehydratable from the carried
+        checkpoint entries; payloads/WAL/checkpoint data retire only
+        below it), and the freshly written checkpoint's frontier is
+        stamped as this server's claim into every block sealed from now
+        on — which is how the next horizon agreement forms.
         """
         if self.storage is None:
             return
+        horizon = self.horizon.horizon if self.coordinated_gc else None
         if self.storage.config.prune and self._last_checkpoint is not None:
             durable = frozenset(self._last_checkpoint.states)
-            report = prune(self.dag, self.interpreter, durable)
+            # Destroying data (payloads → skeletons → WAL segments) is
+            # deferred while this server is visibly behind — many
+            # known-missing predecessors outstanding, or our own chain
+            # trailing the best peer tip.  Blocks admitted during
+            # catch-up may reference anything in that gap, and once a
+            # payload is gone the only remaining answer is condemnation
+            # — which must never hit honest history just because we
+            # pruned mid-recovery.  Independently, anything a currently
+            # buffered block references is pinned: it will be read the
+            # moment that block is admitted.
+            catching_up = (
+                self.gossip.missing_predecessors() > 4
+                or self.gossip.blocks_behind() > 2
+            )
+            report = prune(
+                self.dag,
+                self.interpreter,
+                durable,
+                horizon=horizon,
+                allow_destruction=not catching_up,
+                protected=frozenset(self.gossip.buffered_references()),
+                destruction_delay=self.storage.config.destruction_delay,
+                streaks=self._destruction_streaks,
+            )
             self.storage.metrics.states_released += report.states_released
             self.storage.metrics.payloads_dropped += report.payloads_dropped
         checkpoint = capture_checkpoint(
@@ -199,10 +258,28 @@ class Shim:
             self.interpreter,
             self.dag,
             owner=self.server,
+            previous=self._last_checkpoint,
         )
         self.storage.write_checkpoint(checkpoint)
         self._last_checkpoint = checkpoint
         self._interpreted_at_checkpoint = self.interpreter.blocks_interpreted
+        if self.coordinated_gc:
+            self.gossip.builder.set_claim(
+                durable_frontier(self.dag, self.keyring.servers, checkpoint.refs)
+            )
+
+    def _rehydrate_state(
+        self, ref: BlockRef
+    ) -> "tuple[BlockState, frozenset[Label], frozenset[Label]] | None":
+        """Interpreter rehydration hook: reconstruct a released block's
+        annotation from the covering checkpoint (held in memory — the
+        carry-forward guarantees the latest checkpoint covers every
+        released-above-horizon block)."""
+        if self._last_checkpoint is None:
+            return None
+        return restore_block_state(
+            self._last_checkpoint, self.protocol, self.interpreter.servers, ref
+        )
 
     # -- introspection --------------------------------------------------------------
 

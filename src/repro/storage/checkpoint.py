@@ -11,19 +11,33 @@ interpreted after the snapshot.
 A checkpoint carries:
 
 * ``refs``       — the interpreted set ``I`` at snapshot time;
-* ``states``     — per-block annotations (process instances in wire
-  form, in/out message buffers) for every block whose state the
-  interpreter still held (i.e. not pruned below the stable frontier);
+* ``states``     — per-block annotation entries (see below) for every
+  block still above the agreed GC horizon — annotations the
+  interpreter holds in memory *plus* released ones carried forward
+  from the previous checkpoint so late references can rehydrate them;
 * ``active``     — the per-block active-label sets (Algorithm 2 line 7
   inputs for future children);
-* ``released``   — refs whose states were pruned before the snapshot;
-* ``skeletons``  — ``(n, k, preds, sigma)`` for payload-pruned blocks,
-  enough to rebuild the DAG vertex (and keep its signature verifiable —
-  ``sign`` covers ``ref(B)``, which the skeleton preserves) after the
-  WAL segments holding the full blocks are deleted;
+* ``released``   — refs whose in-memory states were pruned before the
+  snapshot (their entries, when still present in ``states``, exist for
+  rehydration only and are not restored to memory on recovery);
+* ``skeletons``  — ``(n, k, preds, sigma, hz)`` for payload-pruned
+  blocks (below the agreed horizon), enough to rebuild the DAG vertex
+  (and keep its signature verifiable — ``sign`` covers ``ref(B)``,
+  which the skeleton preserves) after the WAL segments holding the
+  full blocks are deleted;
 * ``events``     — the indication history, so a recovered shim reports
   the same ledger its user saw before the crash;
 * ``counters``   — interpreter metrics, for continuity of analysis.
+
+A state entry is **delta-encoded** along the builder's chain: because
+Algorithm 2 copies ``PIs`` from the parent and mutates copy-on-write,
+a block's annotation differs from its parent's exactly on the block's
+*own-label set* (the labels it stepped).  Entries therefore store only
+the owned instances plus ``own`` and a ``base`` pointer to the parent
+entry; the full map is reassembled by walking the chain.  Entries whose
+parent has no entry in the same checkpoint (chain start, or parent
+skeletonized below the horizon) are materialized in full.  This makes
+checkpoint size proportional to work done, not blocks × labels.
 
 Files are written atomically (temp + rename) with a CRC-protected frame
 and the canonical codec — no pickle, same guarantees as the WAL.
@@ -38,7 +52,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.dag import codec
-from repro.dag.block import Block
+from repro.dag.block import Block, parent_of
 from repro.errors import CheckpointError
 from repro.storage.state_codec import restore_process, snapshot_process
 from repro.types import BlockRef, Label, ServerId
@@ -55,19 +69,25 @@ _SUFFIX = ".bin"
 
 @dataclass(frozen=True)
 class BlockSkeleton:
-    """Payload-free reconstruction info for a pruned block."""
+    """Payload-free reconstruction info for a pruned block.
+
+    ``hz`` (the horizon claim) survives skeletonization: claims are the
+    input to horizon agreement, which must stay recomputable from a
+    recovered DAG."""
 
     n: ServerId
     k: int
     preds: tuple[BlockRef, ...]
     sigma: bytes
+    hz: tuple[tuple[ServerId, int], ...] = ()
 
     def to_block(self, ref: BlockRef) -> Block:
         """Rebuild the payload-pruned stub carrying its original ref."""
         from repro.crypto.signatures import Signature
 
         stub = Block(
-            n=self.n, k=self.k, preds=self.preds, rs=(), sigma=Signature(self.sigma)
+            n=self.n, k=self.k, preds=self.preds, rs=(),
+            sigma=Signature(self.sigma), hz=self.hz,
         )
         # ``ref(B)`` covers the dropped ``rs``; pin the original so the
         # stub keeps its identity (and its signature stays verifiable).
@@ -89,11 +109,48 @@ class Checkpoint:
     counters: dict[str, int] = field(default_factory=dict)
 
 
+def _parent_ref(dag: "BlockDag", ref: BlockRef) -> BlockRef | None:
+    """The delta base for ``ref``'s state entry: the same parent the
+    interpreter's copy-on-write used (the shared rule of
+    :func:`repro.dag.block.parent_of` over the same deduplicated,
+    reference-ordered predecessor list)."""
+    block = dag.require(ref)
+    parent = parent_of(block, dag.predecessors(block))
+    return None if parent is None else parent.ref
+
+
+def _merged_pis(
+    states: dict[BlockRef, dict[str, Any]], ref: BlockRef
+) -> dict[str, Any]:
+    """A ref's full wire-form ``PIs``, reassembled along its delta chain
+    (nearest-owner-wins, so the walk mirrors copy-on-write sharing)."""
+    entry = states[ref]
+    merged = dict(entry["pis"])
+    base = entry.get("base")
+    while base is not None:
+        parent = states[base]
+        for lbl, snapshot in parent["pis"].items():
+            merged.setdefault(lbl, snapshot)
+        base = parent.get("base")
+    return merged
+
+
+def _materialize_entry(
+    states: dict[BlockRef, dict[str, Any]], ref: BlockRef
+) -> dict[str, Any]:
+    """A self-contained (``base=None``) copy of one delta entry —
+    needed when its base is about to leave the checkpoint (skeletonized
+    below the agreed horizon)."""
+    entry = states[ref]
+    return {**entry, "pis": _merged_pis(states, ref), "base": None}
+
+
 def capture_checkpoint(
     seq: int,
     interpreter: "Interpreter",
     dag: "BlockDag",
     owner: ServerId | None = None,
+    previous: "Checkpoint | None" = None,
 ) -> Checkpoint:
     """Snapshot an interpreter's current state into a checkpoint.
 
@@ -102,27 +159,58 @@ def capture_checkpoint(
     behalf of the owning server — the user-visible ledger a recovered
     shim must re-report.  Without pruning (or without ``owner``) the
     full history is kept.
+
+    ``previous`` enables the coordinated-GC carry-forward: annotations
+    of blocks released from memory but still above the agreed horizon
+    (payload intact) are copied from the previous checkpoint's entries,
+    so late references can rehydrate them until the horizon agreement
+    retires them for good.  Entries for payload-pruned blocks become
+    skeletons, and any carried entry whose delta base was just retired
+    is materialized in full first.
     """
+    live = [
+        ref for ref in interpreter.interpreted
+        if ref not in interpreter.released
+    ]
+    carried = []
+    if previous is not None:
+        carried = [
+            ref for ref in interpreter.released
+            if ref in previous.states and not dag.payload_pruned(ref)
+        ]
+    planned = set(live) | set(carried)
     states: dict[BlockRef, dict[str, Any]] = {}
     active: dict[BlockRef, tuple[Label, ...]] = {}
-    for ref in interpreter.interpreted:
-        if ref in interpreter.released:
-            continue
+    for ref in live:
         state = interpreter.state_of(ref)
+        own = interpreter.own_labels(ref)
+        parent = _parent_ref(dag, ref)
+        base = parent if (parent is not None and parent in planned) else None
+        labels = own if base is not None else state.pis.keys()
         buffers = state.ms.snapshot()
         states[ref] = {
             "pis": {
-                str(lbl): snapshot_process(pi) for lbl, pi in state.pis.items()
+                str(lbl): snapshot_process(state.pis[lbl])
+                for lbl in sorted(labels)
             },
             "in": {str(lbl): tuple(sorted(msgs, key=codec.encode))
                    for lbl, msgs in buffers["in"].items()},
             "out": {str(lbl): tuple(sorted(msgs, key=codec.encode))
                     for lbl, msgs in buffers["out"].items()},
+            "own": tuple(sorted(str(lbl) for lbl in own)),
+            "base": base,
         }
         active[ref] = tuple(sorted(interpreter.active_labels(ref)))
+    for ref in carried:
+        entry = previous.states[ref]  # type: ignore[union-attr]
+        if entry.get("base") is not None and entry["base"] not in planned:
+            entry = _materialize_entry(previous.states, ref)  # type: ignore[union-attr]
+        states[ref] = entry
+        active[ref] = previous.active[ref]  # type: ignore[union-attr]
     skeletons = {
         ref: BlockSkeleton(
-            n=block.n, k=block.k, preds=block.preds, sigma=bytes(block.sigma)
+            n=block.n, k=block.k, preds=block.preds,
+            sigma=bytes(block.sigma), hz=block.hz,
         )
         for ref in dag.pruned_payloads
         for block in (dag.require(ref),)
@@ -145,8 +233,39 @@ def capture_checkpoint(
             "messages_delivered": interpreter.messages_delivered,
             "messages_materialized": interpreter.messages_materialized,
             "request_steps": interpreter.request_steps,
+            "rehydrated": interpreter.rehydrated,
         },
     )
+
+
+def restore_block_state(
+    checkpoint: Checkpoint,
+    protocol: "ProtocolSpec",
+    servers: "tuple[ServerId, ...]",
+    ref: BlockRef,
+) -> "tuple[Any, frozenset[Label], frozenset[Label]] | None":
+    """Rehydrate one block's annotation from a covering checkpoint.
+
+    Returns ``(BlockState, active labels, own labels)`` — the triple
+    the interpreter needs to resume reading the block as a predecessor
+    — or ``None`` when the checkpoint no longer holds the entry (the
+    agreed horizon retired it; referencing it is condemned instead).
+    """
+    from repro.interpret.instance import BlockState
+
+    entry = checkpoint.states.get(ref)
+    if entry is None:
+        return None
+    state = BlockState()
+    for lbl_str, snapshot in _merged_pis(checkpoint.states, ref).items():
+        state.pis[Label(lbl_str)] = restore_process(protocol, servers, snapshot)
+    for lbl_str, messages in entry["in"].items():
+        state.ms.add_in(Label(lbl_str), messages)
+    for lbl_str, messages in entry["out"].items():
+        state.ms.add_out(Label(lbl_str), messages)
+    active = frozenset(Label(l) for l in checkpoint.active.get(ref, ()))
+    own = frozenset(Label(l) for l in entry.get("own", ()))
+    return state, active, own
 
 
 def install_checkpoint(
@@ -171,21 +290,48 @@ def install_checkpoint(
             f"checkpoint references {len(missing)} blocks absent from the "
             f"rebuilt DAG (first: {missing[0][:8]}…)"
         )
+    # Delta entries reference their parent's entry; walk each builder's
+    # chain bottom-up so a child's base is restored (or at least
+    # merge-able at the wire level) before the child.  Entries for
+    # *released* refs are carried for rehydration only — they are not
+    # restored to memory, preserving the memory bound across a restart.
+    order = sorted(
+        checkpoint.states,
+        key=lambda r: (
+            interpreter.dag.require(r).n,
+            interpreter.dag.require(r).k,
+            r,
+        ),
+    )
     restored = 0
-    for ref, encoded in checkpoint.states.items():
+    for ref in order:
+        if ref in checkpoint.released:
+            continue
+        entry = checkpoint.states[ref]
+        base = entry.get("base")
         state = BlockState()
-        for lbl_str, snapshot in encoded["pis"].items():
+        if base is not None and base in interpreter._states:
+            # Share the base's restored instances, exactly like the
+            # live copy-on-write discipline (Algorithm 2 line 4).
+            state.pis = dict(interpreter._states[base].pis)
+            pis_wire = entry["pis"]
+        else:
+            pis_wire = _merged_pis(checkpoint.states, ref)
+        for lbl_str, snapshot in pis_wire.items():
             state.pis[Label(lbl_str)] = restore_process(
                 protocol, interpreter.servers, snapshot
             )
-        for lbl_str, messages in encoded["in"].items():
+        for lbl_str, messages in entry["in"].items():
             state.ms.add_in(Label(lbl_str), messages)
-        for lbl_str, messages in encoded["out"].items():
+        for lbl_str, messages in entry["out"].items():
             state.ms.add_out(Label(lbl_str), messages)
         interpreter._states[ref] = state
-        restored += 1
-    for ref, labels in checkpoint.active.items():
+        interpreter._own_labels[ref] = frozenset(
+            Label(l) for l in entry.get("own", ())
+        )
+        labels = checkpoint.active.get(ref, ())
         interpreter._active_labels[ref] = frozenset(Label(l) for l in labels)
+        restored += 1
     interpreter.interpreted |= set(checkpoint.refs)
     interpreter.released |= set(checkpoint.released)
     interpreter.events.extend(
@@ -288,7 +434,13 @@ def _to_wire(checkpoint: Checkpoint) -> dict[str, Any]:
         "active": {str(k): tuple(str(l) for l in v) for k, v in checkpoint.active.items()},
         "released": sorted(checkpoint.released),
         "skeletons": {
-            str(ref): (str(s.n), s.k, tuple(str(p) for p in s.preds), s.sigma)
+            str(ref): (
+                str(s.n),
+                s.k,
+                tuple(str(p) for p in s.preds),
+                s.sigma,
+                tuple((str(sv), k) for sv, k in s.hz),
+            )
             for ref, s in checkpoint.skeletons.items()
         },
         "events": tuple(
@@ -311,9 +463,13 @@ def _from_wire(wire: dict[str, Any]) -> Checkpoint:
         released=frozenset(BlockRef(r) for r in wire["released"]),
         skeletons={
             BlockRef(ref): BlockSkeleton(
-                n=ServerId(n), k=k, preds=tuple(BlockRef(p) for p in preds), sigma=sigma
+                n=ServerId(n),
+                k=k,
+                preds=tuple(BlockRef(p) for p in preds),
+                sigma=sigma,
+                hz=tuple((ServerId(sv), ck) for sv, ck in hz),
             )
-            for ref, (n, k, preds, sigma) in wire["skeletons"].items()
+            for ref, (n, k, preds, sigma, hz) in wire["skeletons"].items()
         },
         events=tuple(
             (Label(label), indication, ServerId(server), BlockRef(block_ref))

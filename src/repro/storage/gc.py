@@ -7,40 +7,59 @@ All three are only ever needed again if some *future* block references
 the pruned block directly (Algorithm 2 reads the states and ``rs`` of a
 block's direct predecessors).
 
-The pruner therefore releases a block ``B`` only when it is provably
-past every correct server's referencing window:
+The pruner releases a block ``B`` only when it is provably past every
+correct server's referencing window:
 
 1. **Durable** — ``B``'s annotation is inside the latest written
-   checkpoint, so recovery never needs to recompute it.
-2. **Fully referenced** — every server in ``Srvrs`` already has a block
-   in our DAG that lists ``B`` as a direct predecessor (for ``B``'s own
-   builder the parent link counts).  A correct server references any
-   foreign block in exactly one of its own blocks (Lemma A.6), so once
-   all ``n`` referencing blocks exist, no *correct* server will ever
-   name ``B`` again.
+   checkpoint, so recovery never needs to recompute it (and late
+   references can *rehydrate* it, see below).
+2. **Past the referencing window** — either of:
+
+   * **Fully referenced** (the seed rule): every server in ``Srvrs``
+     already has a block in our DAG listing ``B`` as a direct
+     predecessor.  A correct server references any foreign block in
+     exactly one of its own blocks (Lemma A.6) — but byzantine servers
+     violate exactly this (an equivocator references once *per fork
+     branch*), and a crashed server stops referencing at all, so alone
+     this rule either stalls interpretation or stalls GC.
+   * **Below the agreed horizon** (coordinated GC, PR 4): ``n - f``
+     distinct servers claimed a durable frontier covering ``B``'s chain
+     position (:mod:`repro.horizon`).  Crash-tolerant — ``f`` silent
+     seats cannot stall GC — and byzantine-safe: any honest block
+     arrives before the quorum of claims that would condemn its
+     references (see :mod:`repro.horizon.tracker`).
+
 3. **Settled** — every current direct successor of ``B`` is itself
    interpreted, so no in-flight interpretation still needs ``B``.
 4. **Down-closed** — all of ``B``'s predecessors are already pruned (or
    prunable in the same pass), so the pruned region is a prefix of the
    DAG and WAL segments can be dropped front-to-back.
 
-A byzantine server that never references ``B`` simply blocks ``B``'s
-pruning forever — GC stalls, safety never degrades.  If a byzantine
-server *does* reference a pruned block in a fresh block (impossible for
-correct servers by rule 2), interpretation of that block raises
-:class:`~repro.errors.PrunedStateError` — the below-horizon rejection
-every practical DAG-BFT GC scheme (Adelie's garbage-collection rounds,
-Lachesis epoch pruning) accepts by design.
+Releasing memory and destroying data are now two different tiers.  A
+released *state* stays reconstructible from the covering checkpoint
+(which carries released annotations forward until the agreed horizon
+passes them), so a late byzantine re-reference above the horizon
+rehydrates instead of stalling its honest descendants.  Payloads — and
+with them WAL segments and checkpointed annotations — are destroyed
+only when a block is **both** below the agreed horizon **and** fully
+referenced: below the horizon, new references are condemned by the
+gossip validity rule, and full reference means no *restarting* correct
+server still needs the block over FWD (a server that crashed before
+referencing it must be able to fetch the full block when it comes
+back — data destruction waits for it, memory release does not).
+Without a horizon (legacy callers), payload dropping follows the
+release as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.dag.blockdag import BlockDag
 from repro.dag.traversal import topological_order
 from repro.interpret.interpreter import Interpreter
-from repro.types import BlockRef
+from repro.types import BlockRef, SeqNum, ServerId
 
 
 @dataclass
@@ -56,12 +75,14 @@ def prunable_refs(
     dag: BlockDag,
     interpreter: Interpreter,
     durable: frozenset[BlockRef],
+    horizon: Mapping[ServerId, SeqNum] | None = None,
 ) -> list[BlockRef]:
     """Refs safe to release, in topological (prefix-first) order.
 
     ``durable`` is the set of refs whose annotations the latest written
-    checkpoint holds (rule 1); the graph rules 2–4 are evaluated against
-    the current DAG.
+    checkpoint holds (rule 1); ``horizon`` is the agreed horizon vector
+    (rule 2's coordinated arm; ``None`` = legacy full-reference only);
+    the graph rules are evaluated against the current DAG.
     """
     servers = set(interpreter.servers)
     result: list[BlockRef] = []
@@ -75,9 +96,11 @@ def prunable_refs(
         successors = dag.graph.successors(ref)
         if not all(s in interpreter.interpreted for s in successors):
             continue
-        referencing = {dag.require(s).n for s in successors}
-        if referencing < servers:
-            continue
+        covered = horizon is not None and block.k <= horizon.get(block.n, -1)
+        if not covered:
+            referencing = {dag.require(s).n for s in successors}
+            if referencing < servers:
+                continue
         if not all(p in accepted for p in set(block.preds)):
             continue
         accepted.add(ref)
@@ -89,16 +112,120 @@ def prune(
     dag: BlockDag,
     interpreter: Interpreter,
     durable: frozenset[BlockRef],
+    horizon: Mapping[ServerId, SeqNum] | None = None,
+    allow_destruction: bool = True,
+    protected: frozenset[BlockRef] = frozenset(),
+    destruction_delay: int = 0,
+    streaks: "dict[BlockRef, int] | None" = None,
 ) -> PruneReport:
     """Release interpreter states and drop block payloads below the
     stable frontier.  WAL segment dropping is the storage layer's job
-    (it needs the *next* checkpoint to cover the skeletons first)."""
+    (it needs the *next* checkpoint to cover the skeletons first).
+
+    With a ``horizon``, payloads are dropped only for blocks that are
+    below the agreed horizon *and* fully referenced — a released block
+    that fails either test keeps its ``rs`` so a late reference can
+    still be interpreted (state rehydrated from the covering
+    checkpoint, payload read from the DAG) and a restarting server can
+    still FWD-fetch the full block.  The payload-pruned region
+    additionally stays down-closed (a checkpoint skeleton's
+    predecessors must themselves be skeletons or older), so recovery
+    can rebuild the DAG skeletons-first.
+
+    Three last lines of defence guard the admission race (a block may
+    arrive referencing a candidate between release and destruction):
+
+    * ``protected`` names refs some *buffered* block already references
+      (gossip knows them — destroying one would doom the buffered block
+      on admission);
+    * ``allow_destruction=False`` defers the payload sweep entirely
+      while the server is visibly catching up (many known-missing
+      predecessors, or its chain far behind its peers' tips);
+    * ``destruction_delay``/``streaks`` add hysteresis: a candidate
+      must stay destruction-eligible for ``destruction_delay``
+      *consecutive* passes (the caller persists ``streaks`` across
+      calls) before its data is destroyed.  A restarted server's first
+      quiet instant mid-catch-up looks exactly like steady state to
+      instantaneous signals — the block vouching for a delayed fork
+      sibling may simply not have arrived yet; the delay gives it a
+      checkpoint cycle or two to surface, after which the settledness
+      and ``protected`` checks reset the clock.
+
+    State release stays active either way — released states are
+    rehydratable, destruction is not.
+    """
     report = PruneReport()
-    for ref in prunable_refs(dag, interpreter, durable):
+    for ref in prunable_refs(dag, interpreter, durable, horizon=horizon):
         interpreter.release_state(ref)
         report.states_released += 1
-        freed = dag.drop_payload(ref)
-        if freed is not None:
-            report.payloads_dropped += 1
-            report.payload_bytes_dropped += freed
+        if horizon is None:
+            _drop_payload(dag, ref, report)
+    if horizon is not None and allow_destruction:
+        # Payload sweep: earlier passes may have released blocks that
+        # only now satisfy the destruction rule.  Candidates are exactly
+        # the released-but-not-yet-destroyed refs (the carried set —
+        # bounded in steady state), NOT the whole DAG: skeletonized
+        # history never needs re-examination.  A k-sorted fixpoint loop
+        # keeps the payload-pruned region a down-closed prefix without
+        # a full topological scan per checkpoint.
+        servers = set(interpreter.servers)
+        payload_dropped = set(dag.pruned_payloads)
+        candidates = sorted(
+            (
+                dag.require(ref)
+                for ref in interpreter.released
+                if ref not in payload_dropped
+            ),
+            key=lambda b: (b.k, b.ref),
+        )
+        examined: set[BlockRef] = set()
+        progress = True
+        while progress and candidates:
+            progress = False
+            remaining = []
+            for block in candidates:
+                ref = block.ref
+                if ref in protected:
+                    if streaks is not None:
+                        streaks.pop(ref, None)
+                    continue  # a buffered block needs it on admission
+                if block.k > horizon.get(block.n, -1):
+                    continue  # permanently deferred until H advances
+                successors = dag.graph.successors(ref)
+                # Settledness must hold at *destruction* time, not just
+                # at release time: a late (byzantine) re-reference may
+                # have been admitted since the state was released, and
+                # it still needs this block's payload and carried
+                # checkpoint entry to interpret.  Destroying under its
+                # feet would re-open the permanent below-horizon stall.
+                if not all(s in interpreter.interpreted for s in successors):
+                    if streaks is not None:
+                        streaks.pop(ref, None)
+                    remaining.append(block)
+                    continue
+                if {dag.require(s).n for s in successors} < servers:
+                    remaining.append(block)
+                    continue
+                if not all(p in payload_dropped for p in set(block.preds)):
+                    remaining.append(block)
+                    continue
+                if streaks is not None and ref not in examined:
+                    examined.add(ref)
+                    streak = streaks.get(ref, 0) + 1
+                    streaks[ref] = streak
+                    if streak <= destruction_delay:
+                        continue  # eligible, but not for long enough yet
+                _drop_payload(dag, ref, report)
+                payload_dropped.add(ref)
+                if streaks is not None:
+                    streaks.pop(ref, None)
+                progress = True
+            candidates = remaining
     return report
+
+
+def _drop_payload(dag: BlockDag, ref: BlockRef, report: PruneReport) -> None:
+    freed = dag.drop_payload(ref)
+    if freed is not None:
+        report.payloads_dropped += 1
+        report.payload_bytes_dropped += freed

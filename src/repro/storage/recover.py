@@ -91,6 +91,13 @@ def recover_shim_state(shim: "Shim") -> RecoveryReport:
     if checkpoint is not None:
         report.checkpoint_seq = checkpoint.seq
         report.checkpoint = checkpoint
+        # The suffix replay (step 3) may hit blocks referencing states
+        # the previous incarnation had already released — carried in
+        # the checkpoint for exactly this purpose.  The shim's
+        # rehydrator reads ``_last_checkpoint``, so it must be in place
+        # *before* interpretation resumes, not only after construction
+        # finishes.
+        shim._last_checkpoint = checkpoint
         report.skeletons_inserted = _insert_skeletons(shim, checkpoint)
     for block in blocks:
         if block.ref not in shim.dag:

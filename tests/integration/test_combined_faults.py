@@ -11,6 +11,9 @@ with the byzantine seat silent — Theorem 5.1 across all three fault
 families at once.
 """
 
+import pytest
+
+from repro.horizon import assert_horizons_converged
 from repro.protocols.base import Trace
 from repro.protocols.brb import Broadcast, brb_protocol
 from repro.runtime.compare import equivalent_traces, trace_differences
@@ -45,11 +48,12 @@ def combined_scenario(seed: int = 0) -> Scenario:
         seed=seed,
         topology=Topology(
             n=N,
-            # prune=False: an equivocator's partition-delayed fork
-            # sibling may reference blocks below the pruning horizon,
-            # which stalls interpretation of its honest descendants
-            # (tracked as a ROADMAP open item).
-            storage=StorageSpec(checkpoint_interval=8, prune=False),
+            # prune=True (PR 4): the coordinated GC horizon freezes
+            # during the partition and the covering checkpoint
+            # rehydrates pruned inputs on demand, so the equivocator's
+            # delayed fork sibling no longer stalls its honest
+            # descendants — the exact hazard this scenario surfaced.
+            storage=StorageSpec(checkpoint_interval=8, prune=True),
         ),
         workload=OpenLoopWorkload(rate=2, rounds=6),
         faults=FaultSchedule(
@@ -83,26 +87,36 @@ def _filter_trace(trace: Trace, labels: set) -> Trace:
     return filtered
 
 
-class TestCombinedFaultFamilies:
-    def _run(self, tmp_path):
-        scenario = combined_scenario()
-        runner = ScenarioRunner(scenario, storage_root=tmp_path)
-        result = runner.run()
-        return runner, result
+@pytest.fixture(scope="module")
+def combined_run(tmp_path_factory):
+    """One shared execution of the combined-fault scenario: every test
+    in this module only *reads* the finished runner/result, so a single
+    (deterministic) run serves them all."""
+    scenario = combined_scenario()
+    runner = ScenarioRunner(
+        scenario, storage_root=tmp_path_factory.mktemp("combined-faults")
+    )
+    result = runner.run()
+    return runner, result
 
-    def test_all_fault_families_actually_fired(self, tmp_path):
-        runner, result = self._run(tmp_path)
+
+class TestCombinedFaultFamilies:
+    def _run(self, combined_run):
+        return combined_run
+
+    def test_all_fault_families_actually_fired(self, combined_run):
+        runner, result = self._run(combined_run)
         assert result.crashes == 1 and result.restarts == 1
         assert result.forks_observed >= 1  # the equivocation happened
         assert runner.compiled.fault_plan.partitions  # the cut existed
         assert result.stopped_by == "stop-condition"
         assert result.converged and result.down_at_end == ()
 
-    def test_theorem51_trace_equivalence_after_heal(self, tmp_path):
+    def test_theorem51_trace_equivalence_after_heal(self, combined_run):
         """The acceptance check: after heal + recovery, the embedding's
         correct-server traces equal runtime/direct on the same workload
         (byzantine seat silent there — it sends no protocol messages)."""
-        runner, result = self._run(tmp_path)
+        runner, result = self._run(combined_run)
         assert result.requests_delivered == result.requests_issued
 
         servers = make_servers(N)
@@ -123,12 +137,12 @@ class TestCombinedFaultFamilies:
             trace_differences(baseline, embedded)
         )
 
-    def test_equivocation_instance_stays_consistent(self, tmp_path):
+    def test_equivocation_instance_stays_consistent(self, combined_run):
         """BRB consistency on the byzantine seat's own instance: the
         fork offered two values; correct servers may deliver nothing
         (no totality obligation for a byzantine sender whose echoes
         split below quorum) but any that deliver must agree."""
-        runner, _ = self._run(tmp_path)
+        runner, _ = self._run(combined_run)
         cue_label = "byz-s7-2"  # the scheduled equivocation cue
         values = {
             indication.value
@@ -140,10 +154,57 @@ class TestCombinedFaultFamilies:
         for server in runner.cluster.correct_servers:
             assert runner.cluster.shim(server).dag.forks()
 
-    def test_recovered_server_rejoined_the_joint_dag(self, tmp_path):
-        runner, _ = self._run(tmp_path)
+    def test_recovered_server_rejoined_the_joint_dag(self, combined_run):
+        runner, _ = self._run(combined_run)
         recovered = runner.cluster.shim(CRASHED)
         assert recovered.recovery is not None
         assert recovered.recovery.blocks_recovered > 0
         reference = runner.cluster.shim("s1")
         assert recovered.dag.refs == reference.dag.refs
+
+    def test_pruning_on_no_interpretability_divergence(self, combined_run):
+        """The PR 4 acceptance check: with ``prune=True`` and all three
+        fault families live, interpretation must not diverge.  Every
+        honest block is interpreted on every live server (the delayed
+        fork sibling's inputs rehydrate from the covering checkpoint),
+        pruning actually happened, and the live and disk-recovered
+        servers agree on interpretability."""
+        runner, result = self._run(combined_run)
+        cluster = runner.cluster
+        assert result.storage.states_released > 0, "pruning never fired"
+        for server, shim in cluster.shims.items():
+            assert shim.interpreter.below_horizon == 0, (
+                f"{server} stalled below the horizon"
+            )
+            missing = [
+                block.ref
+                for block in shim.dag
+                if block.n != BYZANTINE
+                and block.ref not in shim.interpreter.interpreted
+            ]
+            assert not missing, f"{server} left honest blocks uninterpreted"
+        # Live servers and the restart-from-disk server agree on what is
+        # interpretable — the divergence mixed-faults used to measure.
+        interpreted = {
+            server: set(shim.interpreter.interpreted)
+            for server, shim in cluster.shims.items()
+        }
+        reference = interpreted["s1"]
+        assert all(view == reference for view in interpreted.values())
+
+    def test_agreed_horizon_identical_across_correct_servers(self, combined_run):
+        """The horizon is a pure function of the DAG, so once the DAGs
+        converge every correct server must hold the same agreed horizon
+        — and it must have actually advanced (claims flowed)."""
+        runner, result = self._run(combined_run)
+        cluster = runner.cluster
+        assert_horizons_converged(cluster.shims)
+        horizon = cluster.shim("s1").horizon.horizon
+        assert any(k >= 0 for k in horizon.values()), "horizon never advanced"
+        # The per-server GC-health counters are surfaced in the result.
+        by_server = result.interpreter.by_server
+        assert set(by_server) == set(str(s) for s in cluster.shims)
+        assert all(c["below_horizon"] == 0 for c in by_server.values())
+        assert result.interpreter.rehydrated == sum(
+            c["rehydrated"] for c in by_server.values()
+        )
