@@ -68,10 +68,11 @@ class SeedRescanInterpreter(Interpreter):
     """Faithful seed baseline.
 
     ``incremental=False`` restores the frontier rescan per ``run()``
-    step; on top of that, the seed's ``BlockDag.refs`` property copied
-    the whole key set on *every* membership check, and
-    ``interpret_block`` consulted it once per block — reproduced here so
-    the baseline pays what the seed actually paid on this path.
+    step and ``cow=False`` the ``copy.deepcopy`` ownership copy; on top
+    of that, the seed's ``BlockDag.refs`` property copied the whole key
+    set on *every* membership check, and ``interpret_block`` consulted
+    it once per block — reproduced here so the baseline pays what the
+    seed actually paid on this path.
     """
 
     def interpret_block(self, block):
@@ -91,7 +92,7 @@ def replay(blocks, servers, incremental: bool):
         interp = Interpreter(dag, counter_protocol, servers)
     else:
         interp = SeedRescanInterpreter(
-            dag, counter_protocol, servers, incremental=False
+            dag, counter_protocol, servers, incremental=False, cow=False
         )
     per_insert = []
     gc_was_enabled = gc.isenabled()

@@ -131,21 +131,47 @@ def run(instances: int = INSTANCES, rounds: int = ROUNDS) -> dict:
         )
         t_ckpt, ckpt_shim = time_recovery(root / "ckpt", ckpt_cluster, ckpt_cfg)
 
-        # Correctness before speed: over every block the pruned server
-        # still holds an annotation for, the two recovery paths agree
-        # byte-for-byte (same deterministic workload, same DAG).
+        # Correctness before speed: the recovered server's annotations
+        # are byte-identical to an *uninterrupted live peer's* over
+        # every block both still hold in memory (Theorem 5.1 across a
+        # crash — same DAG, so the comparison covers the whole resident
+        # window, not just the prefix sealed before horizon claims made
+        # the two arms' refs diverge).
+        peer = ckpt_cluster.shims[ckpt_cluster.servers[1]].interpreter
+        recovered = ckpt_shim.interpreter
         compared = 0
         for block in ckpt_shim.dag:
             ref = block.ref
-            if ref in ckpt_shim.interpreter.released:
+            if ref in recovered.released or ref not in recovered.interpreted:
                 continue
-            if ref not in full_shim.interpreter.interpreted:
+            if ref in peer.released or ref not in peer.interpreted:
                 continue
             assert annotation_fingerprint(
-                ckpt_shim.interpreter, ref
-            ) == annotation_fingerprint(full_shim.interpreter, ref)
+                recovered, ref
+            ) == annotation_fingerprint(peer, ref)
             compared += 1
         assert compared > 0
+
+        # Builder-boundary segment rotation earns its keep: with chain
+        # frames aligned to segments, fully-retired segments actually
+        # delete during the run — even in short (smoke) runs, where the
+        # old mid-chain rotation left every segment pinned by one live
+        # tail ref.
+        segments_dropped = sum(
+            shim.storage.wal.stats.segments_dropped
+            for shim in ckpt_cluster.shims.values()
+        )
+        assert segments_dropped > 0, (
+            "WAL segment GC never fired — chain-boundary rotation regressed"
+        )
+
+        # Bytes the ckpt arm's live server actually appended vs what
+        # remains on disk: the measure of how much WAL the GC reclaimed
+        # (a cross-arm byte comparison would be apples-to-oranges —
+        # coordinated GC stamps horizon claims into every block, so the
+        # ckpt arm's blocks are inherently bigger than the full arm's).
+        live_storage = ckpt_cluster.shims[ckpt_cluster.servers[0]].storage
+        ckpt_appended = live_storage.wal.stats.bytes_appended
 
         dag_blocks = len(full_shim.dag)
         result = {
@@ -164,9 +190,11 @@ def run(instances: int = INSTANCES, rounds: int = ROUNDS) -> dict:
                 "skeletons": ckpt_shim.recovery.skeletons_inserted,
                 "checkpoint_seq": ckpt_shim.recovery.checkpoint_seq,
                 "wal_bytes": ckpt_shim.storage.wal_size_bytes(),
+                "wal_bytes_appended": ckpt_appended,
             },
             "speedup": round(t_full / t_ckpt, 2),
             "annotations_compared": compared,
+            "wal_segments_dropped": segments_dropped,
             "wal_append_throughput": wal_throughput(root, full_shim.dag.blocks()),
         }
         emit(EXPERIMENT, json.dumps(result, indent=2))
@@ -181,8 +209,11 @@ def test_restart_from_checkpoint_beats_full_reinterpretation():
     ckpt = result["restart_from_checkpoint"]
     # Checkpoints bound the replay suffix...
     assert ckpt["blocks_replayed"] < full["blocks_replayed"]
-    # ...pruning bounds the WAL...
-    assert ckpt["wal_bytes"] < full["wal_bytes"]
+    # ...segment GC reclaims a real fraction of what was written (the
+    # arm's own append volume is the honest baseline: horizon claims
+    # make ckpt-arm *blocks* bigger than the claim-free full arm's, so
+    # cross-arm byte totals don't compare)...
+    assert ckpt["wal_bytes"] < 0.9 * ckpt["wal_bytes_appended"]
     # ...and the acceptance criterion: restart-from-checkpoint is
     # measurably faster than re-interpreting the whole DAG.
     assert ckpt["seconds"] < full["seconds"]

@@ -304,20 +304,32 @@ class BlockDag:
             raise InvalidBlockError(
                 f"refusing to insert block failing Definition 3.3: {block!r}"
             )
-        missing = [p for p in block.preds if p not in self._store]
-        if missing:
-            raise MissingPredecessorError(
-                f"predecessors not in DAG: {[m[:8] for m in missing]} "
-                f"(Definition 3.4 (ii))"
-            )
-        # Dedupe: a byzantine builder may list a reference twice; edges
-        # are a set either way (Algorithm 2 line 9 takes unions, so
-        # duplicates carry no extra meaning).
-        self.graph.insert(block.ref, set(block.preds))
-        self._store[block.ref] = block
-        self._by_server.setdefault(block.n, {}).setdefault(block.k, []).append(
-            block.ref
-        )
+        # Dedupe once: a byzantine builder may list a reference twice;
+        # edges are a set either way (Algorithm 2 line 9 takes unions,
+        # so duplicates carry no extra meaning).
+        preds = set(block.preds)
+        store = self._store
+        for p in preds:
+            if p not in store:
+                missing = [m for m in preds if m not in store]
+                raise MissingPredecessorError(
+                    f"predecessors not in DAG: {[m[:8] for m in missing]} "
+                    f"(Definition 3.4 (ii))"
+                )
+        # Trusted graph insert: absence and predecessor presence were
+        # just checked against the store (store and graph stay in sync).
+        self.graph.insert_new(block.ref, preds)
+        store[block.ref] = block
+        # Open-coded setdefault chain: setdefault evaluates its default
+        # argument every call, which allocated a dict and a list per
+        # insert on this hot path.
+        by_server = self._by_server.get(block.n)
+        if by_server is None:
+            by_server = self._by_server[block.n] = {}
+        bucket = by_server.get(block.k)
+        if bucket is None:
+            bucket = by_server[block.k] = []
+        bucket.append(block.ref)
         # Snapshot: a listener may unsubscribe itself while firing.
         for listener in tuple(self._insert_listeners):
             listener(block)
@@ -416,14 +428,18 @@ class BlockDag:
         return result
 
     def predecessors(self, block: Block) -> list[Block]:
-        """Full blocks referenced by ``block.preds`` (deduplicated)."""
-        seen: set[BlockRef] = set()
-        result: list[Block] = []
-        for ref in block.preds:
-            if ref not in seen:
-                seen.add(ref)
-                result.append(self.require(ref))
-        return result
+        """Full blocks referenced by ``block.preds`` (deduplicated).
+
+        Runs once per interpreted block on the hot path: resolves
+        straight off the store dict instead of one :meth:`require` call
+        per reference."""
+        store = self._store
+        try:
+            return [store[ref] for ref in dict.fromkeys(block.preds)]
+        except KeyError as exc:
+            raise MissingPredecessorError(
+                f"block not in DAG: {exc.args[0][:8]}…"
+            ) from None
 
     def __repr__(self) -> str:
         return f"BlockDag(|blocks|={len(self._store)}, |edges|={self.graph.edge_count()})"

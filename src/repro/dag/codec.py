@@ -106,13 +106,23 @@ def _encode_into(value: Any, out: bytearray) -> None:
             out += item
         return
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        # Auto-register for decoding: anything encoded in-process can be
-        # decoded in-process (sufficient for the KV-store substrate).
-        _DATACLASS_REGISTRY.setdefault(type(value).__qualname__, type(value))
-        name = type(value).__qualname__.encode("utf-8")
-        fields = tuple(
-            getattr(value, f.name) for f in dataclasses.fields(value)
-        )
+        cls = type(value)
+        cached = _ENCODE_CACHE.get(cls)
+        if cached is None:
+            # Auto-register for decoding: anything encoded in-process
+            # can be decoded in-process (sufficient for the KV-store
+            # substrate).  Field introspection is cached per class —
+            # ``dataclasses.fields`` rebuilds a tuple of Field objects
+            # on every call, which dominated message ordering (``<_M``)
+            # on the interpretation hot path.
+            _DATACLASS_REGISTRY.setdefault(cls.__qualname__, cls)
+            cached = (
+                cls.__qualname__.encode("utf-8"),
+                tuple(f.name for f in dataclasses.fields(value)),
+            )
+            _ENCODE_CACHE[cls] = cached
+        name, field_names = cached
+        fields = tuple(getattr(value, f) for f in field_names)
         out += _TAG_DATACLASS
         out += len(name).to_bytes(4, "big")
         out += name
@@ -147,6 +157,9 @@ def encoding_key(value: Any) -> bytes:
 # classes, and Block/Message register explicitly.
 
 _DATACLASS_REGISTRY: dict[str, type] = {}
+
+#: Per-class encode metadata: ``(qualname bytes, field names)``.
+_ENCODE_CACHE: dict[type, tuple[bytes, tuple[str, ...]]] = {}
 
 
 def register_dataclass(cls: type) -> type:

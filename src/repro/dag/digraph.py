@@ -68,6 +68,18 @@ class Digraph(Generic[V]):
             raise DagError(f"vertex not in graph: {vertex!r}")
         return set(self._succ[vertex])
 
+    def successors_view(self, vertex: V) -> frozenset[V]:
+        """The live successor set of ``vertex`` — no defensive copy.
+
+        The interpreter's scheduler walks successors once per
+        interpreted block; copying the set each time was measurable on
+        that path.  Callers must treat the result as frozen (it is the
+        graph's own set, typed frozen to make mutation a type error)."""
+        succ = self._succ.get(vertex)
+        if succ is None:
+            raise DagError(f"vertex not in graph: {vertex!r}")
+        return succ  # type: ignore[return-value]
+
     def predecessors(self, vertex: V) -> set[V]:
         """Vertices ``u`` with an edge ``u ⇀ vertex``."""
         if vertex not in self._pred:
@@ -89,8 +101,11 @@ class Digraph(Generic[V]):
         with a subset of its existing in-edges is a no-op
         (Lemma 2.2 (1)); re-inserting with *new* in-edges is rejected,
         since that could create cycles (Lemma 2.2 (3) counterexample).
+
+        Defensive: ``sources`` is copied (hot-path callers that build a
+        throwaway set use :meth:`insert_new`, which takes ownership).
         """
-        sources = list(sources)
+        sources = set(sources)
         for source in sources:
             if source not in self._succ:
                 raise DagError(
@@ -105,11 +120,19 @@ class Digraph(Generic[V]):
                     f"{new_edges!r} could create a cycle (cf. Lemma 2.2 (3))"
                 )
             return  # idempotent: Lemma 2.2 (1)
+        self.insert_new(vertex, sources)
+
+    def insert_new(self, vertex: V, sources: set[V]) -> None:
+        """Trusted insertion: the caller guarantees ``vertex`` is absent
+        and every source present (``BlockDag.insert`` has just verified
+        exactly that against its store — re-checking here doubled the
+        hash lookups on the per-block hot path).  Takes ownership of
+        ``sources``; same ``insert(G, v, E)`` semantics otherwise."""
         self._succ[vertex] = set()
-        self._pred[vertex] = set()
+        self._pred[vertex] = sources
+        succ = self._succ
         for source in sources:
-            self._succ[source].add(vertex)
-            self._pred[vertex].add(source)
+            succ[source].add(vertex)
 
     # -- reachability (⇀+, ⇀*) ----------------------------------------------
 

@@ -102,6 +102,14 @@ class Gossip:
         created when omitted.
     on_insert:
         Callback fired after every successful ``G.insert(B)``.
+    on_batch_end:
+        Callback fired once per external event (a network delivery or a
+        dissemination) *after* its whole admission cascade settled, and
+        only if the cascade inserted at least one block.  The shim
+        hangs WAL chain-frame flushing and batched interpretation off
+        this hook: a catch-up drain admitting a whole buffered chain
+        becomes one WAL record and one interpreter pass instead of a
+        per-block round trip.
     horizon:
         Optional agreed-horizon view (duck-typed: anything with a
         ``condemns(block)`` method, normally a
@@ -119,6 +127,7 @@ class Gossip:
         dag: BlockDag | None = None,
         config: GossipConfig | None = None,
         on_insert: Callable[[Block], None] | None = None,
+        on_batch_end: Callable[[], None] | None = None,
         horizon: object | None = None,
     ) -> None:
         self.server = server
@@ -128,7 +137,10 @@ class Gossip:
         self.dag = dag if dag is not None else BlockDag()
         self.config = config if config is not None else GossipConfig()
         self.on_insert = on_insert
+        self.on_batch_end = on_batch_end
         self.horizon = horizon
+        #: Inserts since the last batch-end notification.
+        self._batch_inserts = 0
         self.builder = BlockBuilder(server)
         self.blks: dict[BlockRef, Block] = {}
         #: Buffered blocks indexed by the predecessor they wait for:
@@ -161,10 +173,20 @@ class Gossip:
         """Network ingress: blocks and FWD requests."""
         if isinstance(envelope, BlockEnvelope):
             self._on_block(envelope.block)
+            self._end_batch()
         elif isinstance(envelope, FwdRequestEnvelope):
             self._on_fwd_request(src, envelope.ref)
         else:
             raise TypeError(f"gossip received unknown envelope {envelope!r}")
+
+    def _end_batch(self) -> None:
+        """Fire ``on_batch_end`` if the event just handled inserted
+        anything (one external event = one batch, however long the
+        buffered-chain cascade it unblocked)."""
+        if self._batch_inserts:
+            self._batch_inserts = 0
+            if self.on_batch_end is not None:
+                self.on_batch_end()
 
     def _on_block(self, block: Block) -> None:
         self.metrics.blocks_received += 1
@@ -306,6 +328,7 @@ class Gossip:
             if not inserted:
                 return
             self.metrics.blocks_inserted += 1
+            self._batch_inserts += 1
             if block.n != self.server:
                 # Line 8: reference every newly validated foreign block in
                 # our own next block; own blocks already chain via parent.
@@ -392,6 +415,7 @@ class Gossip:
         )
         self._insert(block)
         self.metrics.blocks_disseminated += 1
+        self._end_batch()
         return block
 
     # -- introspection ------------------------------------------------------------

@@ -18,13 +18,23 @@ from repro.types import Label
 
 
 class MessageBuffers:
-    """The ``Ms`` annotation of one block: in/out message sets per label."""
+    """The ``Ms`` annotation of one block: in/out message sets per label.
 
-    __slots__ = ("_in", "_out")
+    Alongside the canonical out-sets, the buffers maintain a
+    *receiver index* (``label -> receiver -> messages``): Algorithm 2's
+    line-9 gather runs once per (successor, label) pair over every
+    predecessor, so filtering ``m.receiver = B.n`` by scanning the full
+    out-set made each emitted message be re-examined by every
+    referencing block.  The index is derived state — rebuilt by
+    ``add_out`` wherever the buffers are reconstructed (checkpoint
+    restore, rehydration) and never serialized."""
+
+    __slots__ = ("_in", "_out", "_out_rcv")
 
     def __init__(self) -> None:
         self._in: dict[Label, set[Message]] = {}
         self._out: dict[Label, set[Message]] = {}
+        self._out_rcv: dict[Label, dict[object, set[Message]]] = {}
 
     # -- writes (Algorithm 2 lines 6, 9, 11) -------------------------------------
 
@@ -35,6 +45,13 @@ class MessageBuffers:
     def add_out(self, label: Label, messages: Iterable[Message]) -> None:
         """``Ms[out, ℓ] ∪= messages`` (lines 6, 11)."""
         self._out.setdefault(label, set()).update(messages)
+        by_receiver = self._out_rcv.setdefault(label, {})
+        for message in messages:
+            bucket = by_receiver.get(message.receiver)
+            if bucket is None:
+                by_receiver[message.receiver] = {message}
+            else:
+                bucket.add(message)
 
     # -- reads ----------------------------------------------------------------
 
@@ -46,13 +63,16 @@ class MessageBuffers:
         """``Ms[out, ℓ]`` ordered by ``<_M`` (for line 9 at successor blocks)."""
         return ordered(self._out.get(label, ()))
 
-    def outgoing_set(self, label: Label) -> Iterable[Message]:
-        """``Ms[out, ℓ]`` unordered — the line 9 gather at successor
-        blocks unions these into a set and sorts *once* at line 10, so
-        pre-sorting here (which encodes every message for its ``<_M``
-        key) would be pure hot-path waste.  Callers must not mutate the
-        returned collection."""
-        return self._out.get(label, ())
+    def outgoing_to(self, label: Label, receiver: object) -> Iterable[Message]:
+        """``{m ∈ Ms[out, ℓ] | m.receiver = receiver}`` unordered, via
+        the receiver index — the line 9 gather without scanning the
+        other receivers' messages.  Callers must not mutate the
+        returned collection.  (The interpreter's hot loop inlines this
+        body over the raw ``_out_rcv`` slot; keep the two in sync.)"""
+        by_receiver = self._out_rcv.get(label)
+        if by_receiver is None:
+            return ()
+        return by_receiver.get(receiver, ())
 
     def outgoing_for(self, label: Label, receiver: object) -> list[Message]:
         """``{m ∈ Ms[out, ℓ] | m.receiver = receiver}`` — the line 9 filter."""

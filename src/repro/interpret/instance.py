@@ -20,7 +20,11 @@ import copy
 from typing import Any
 
 from repro.interpret.buffers import MessageBuffers
-from repro.protocols.base import Context, ProcessInstance
+from repro.protocols.base import (
+    INTERNAL_STATE_ATTRS,
+    Context,
+    ProcessInstance,
+)
 from repro.types import Label
 
 
@@ -34,18 +38,36 @@ class BlockState:
     (Algorithm 2 line 4).
     """
 
-    __slots__ = ("pis", "ms")
+    __slots__ = ("pis", "_ms")
 
     def __init__(self) -> None:
         self.pis: dict[Label, ProcessInstance] = {}
-        self.ms = MessageBuffers()
+        #: Lazily materialized: most blocks in a steady-state run carry
+        #: neither requests nor deliveries, and four dict allocations
+        #: per block were measurable on the interpretation hot path.
+        #: The interpreter reads the raw slot; everyone else goes
+        #: through the property.
+        self._ms: MessageBuffers | None = None
+
+    @property
+    def ms(self) -> MessageBuffers:
+        """The ``Ms`` buffers, created on first touch."""
+        buffers = self._ms
+        if buffers is None:
+            buffers = self._ms = MessageBuffers()
+        return buffers
 
     def copy_pis_from(self, parent: "BlockState") -> None:
-        """``B.PIs ≔ copy B.parent.PIs`` (Algorithm 2 line 4).
+        """``B.PIs ≔ copy B.parent.PIs`` (Algorithm 2 line 4), in the
+        paper's literal copy-everything form.
 
         A deep copy: sibling blocks of an equivocating builder must not
         share mutable state — the fork splits the simulated server into
-        two 'versions' (§4, byzantine discussion).
+        two 'versions' (§4, byzantine discussion).  The interpreter
+        itself realizes line 4 copy-on-write instead (pointer-sharing
+        plus :meth:`~repro.protocols.base.ProcessInstance.fork` on
+        first step); this method is the oracle semantics both must stay
+        observationally equal to.
         """
         self.pis = copy.deepcopy(parent.pis)
 
@@ -64,10 +86,13 @@ def snapshot_instance(instance: ProcessInstance) -> dict[str, Any]:
         attrs.update(instance.__dict__)
     for klass in type(instance).__mro__:
         for slot in getattr(klass, "__slots__", ()):
-            if slot != "ctx" and hasattr(instance, slot):
+            if slot not in INTERNAL_STATE_ATTRS and hasattr(instance, slot):
                 attrs.setdefault(slot, getattr(instance, slot))
     for name, value in attrs.items():
-        if name == "ctx":
+        # Generation stamps / cell tables are copy-on-write bookkeeping,
+        # not protocol state: two behaviourally equal instances may
+        # carry arbitrarily different stamps.
+        if name in INTERNAL_STATE_ATTRS:
             continue
         state[name] = copy.deepcopy(value)
     ctx = instance.ctx

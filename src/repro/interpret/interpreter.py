@@ -32,13 +32,30 @@ DAG per insertion.  The original scan-the-world frontier
 ``incremental=False`` as a debug/verification mode; property tests
 assert both modes produce byte-identical annotations.
 
-State copying is copy-on-write at process-instance granularity: block
-states share untouched instances with their ancestors, and an instance
-is deep-copied the first time a given block steps it.  Observable
-annotations are identical to the paper's copy-everything formulation
-(any block that would mutate shared state copies first), including the
-state *split* at equivocation forks — two children of the same parent
-each copy before stepping.
+State copying is copy-on-write at **two** granularities.  At instance
+granularity, block states share untouched instances with their
+ancestors and an instance is copied the first time a given block steps
+it.  At container granularity (``cow=True``, the default), that
+per-block copy is a structural :meth:`~repro.protocols.base.ProcessInstance.fork`
+— O(fields), sharing every unmutated container with the ancestor —
+and the protocol's own write barrier copies only the containers a step
+actually touches.  ``cow=False`` restores the original
+``copy.deepcopy`` ownership copy and is kept as the executable oracle:
+property tests assert both modes produce byte-identical annotations
+and event traces, the same convention as ``incremental=False``.
+Observable annotations are identical to the paper's copy-everything
+formulation either way (any block that would mutate shared state
+copies first), including the state *split* at equivocation forks — two
+children of the same parent each copy before stepping.
+
+``run()`` additionally drains **builder chains in batches**: when
+interpreting a block leaves exactly one newly ready block (the shape a
+gossip catch-up drain produces — one builder's chain unblocking link
+by link), the loop follows it directly instead of going through the
+ready heap.  The schedule is unchanged (a singleton ready set has only
+one canonical choice), but per-block scheduler work drops and the
+storage layer piggybacks on the same boundaries to frame one WAL
+record per drained chain.
 """
 
 from __future__ import annotations
@@ -73,6 +90,9 @@ class IndicationEvent:
 
 #: Scheduler callback: pick the next block from the eligible frontier.
 ChooseFn = Callable[[list[Block]], Block]
+
+#: Shared empty label set (avoids one allocation per no-step block).
+_EMPTY_LABELS: frozenset[Label] = frozenset()
 
 #: Rehydration callback: reconstruct a released block's annotation from
 #: durable storage — ``(state, active labels, own labels)``, or ``None``
@@ -111,6 +131,14 @@ class Interpreter:
         eligible frontier on every :meth:`eligible` call — the original
         (O(N) per interpreted block) behavior, kept as a verification
         oracle for tests and benchmarks.
+    cow:
+        ``True`` (default) makes :meth:`_step`'s ownership copy a
+        structurally-shared :meth:`~repro.protocols.base.ProcessInstance.fork`
+        (O(fields); mutation copies only touched containers through the
+        protocol's write barrier).  ``False`` restores the
+        ``copy.deepcopy`` discipline — the executable oracle the
+        cow-vs-oracle property tests compare against, mirroring the
+        ``incremental=False`` convention.
     """
 
     def __init__(
@@ -120,12 +148,14 @@ class Interpreter:
         servers: Sequence[ServerId],
         on_indication: Callable[[IndicationEvent], None] | None = None,
         incremental: bool = True,
+        cow: bool = True,
     ) -> None:
         self.dag = dag
         self.protocol = protocol
         self.servers = tuple(servers)
         self.on_indication = on_indication
         self.incremental = incremental
+        self.cow = cow
         self.interpreted: set[BlockRef] = set()
         #: Refs whose states were pruned below the stable frontier; they
         #: stay in ``interpreted`` but their annotations are gone.
@@ -138,6 +168,15 @@ class Interpreter:
         self.rehydrator: RehydrateFn | None = None
         self._states: dict[BlockRef, BlockState] = {}
         self._active_labels: dict[BlockRef, frozenset[Label]] = {}
+        #: Intern pool for active-label sets: one frozenset object per
+        #: distinct set.  Steady-state blocks whose predecessors all
+        #: carry the same active set then share one object — the
+        #: line-7 gather detects that by identity and skips building
+        #: any temporary at all.  Bounded by the number of distinct
+        #: active sets ever seen (≤ blocks interpreted), and a net
+        #: memory *saving*: annotations share instead of each holding
+        #: their own copy.
+        self._active_pool: dict[frozenset[Label], frozenset[Label]] = {}
         #: Per-block set of labels the block itself stepped (the
         #: ``owned`` set of :meth:`interpret_block`) — with copy-on-write
         #: state sharing this is the block's *delta* over its parent,
@@ -156,10 +195,18 @@ class Interpreter:
         #: predecessor's state was pruned (see :meth:`eligible`).
         self._horizon: set[BlockRef] = set()
         # Metrics backing the compression experiments (CLM-COMPRESS).
+        # All of them commit atomically with line 12 (the interpreted
+        # mark): a protocol step raising mid-block leaves every counter
+        # exactly where it was, so counters never include work of a
+        # block that was not marked interpreted.
         self.blocks_interpreted = 0
         self.messages_delivered = 0
         self.messages_materialized = 0
         self.request_steps = 0
+        #: Same-builder chain runs the batched drain followed without
+        #: touching the ready heap, and the blocks they covered.
+        self.chain_runs = 0
+        self.chain_blocks = 0
         #: Released annotations reconstructed from the covering
         #: checkpoint on demand (coordinated-GC subsystem).
         self.rehydrated = 0
@@ -174,7 +221,9 @@ class Interpreter:
             def _forward(block: Block) -> None:
                 interpreter = self_ref()
                 if interpreter is not None:
-                    interpreter.notify_inserted(block)
+                    # Inline of notify_inserted (incremental is known
+                    # True here): one call less on the per-insert path.
+                    interpreter._track(block)
                 else:
                     dag.remove_insert_listener(_forward)
 
@@ -304,19 +353,43 @@ class Interpreter:
         self._tracked.add(ref)
         if ref in self.interpreted:
             return
-        missing = sum(1 for p in set(block.preds) if p not in self.interpreted)
+        # Count *distinct* uninterpreted predecessors without building a
+        # set of all of them — runs once per insertion, and the missing
+        # set is almost always empty or tiny.
+        interpreted = self.interpreted
+        missing: set[BlockRef] | None = None
+        for p in block.preds:
+            if p not in interpreted:
+                if missing is None:
+                    missing = {p}
+                else:
+                    missing.add(p)
         if missing:
-            self._pending[ref] = missing
+            self._pending[ref] = len(missing)
         else:
             self._make_ready(block)
 
     def _make_ready(self, block: Block) -> None:
         """All predecessors interpreted: queue for interpretation, or
         divert below the horizon when a predecessor's state is gone
-        (and, with a rehydrator, cannot be reconstructed)."""
+        (and, with a rehydrator, cannot be reconstructed).
+
+        The heap is maintained lazily: a singleton ready set needs no
+        order (``run()`` takes it directly), so entries are pushed only
+        once a second block is ready — at which point the whole ready
+        set is (re-)pushed, restoring the ``heap ⊇ ready`` invariant
+        the multi-element pop path relies on.  Duplicate pushes are
+        harmless: a popped entry no longer in ``ready`` is skipped as
+        stale."""
         if self._restore_released_preds(block):
-            self._ready.add(block.ref)
-            heapq.heappush(self._ready_heap, block.ref)
+            ready = self._ready
+            ready.add(block.ref)
+            if len(ready) == 2:
+                heap = self._ready_heap
+                for ref in ready:
+                    heapq.heappush(heap, ref)
+            elif len(ready) > 2:
+                heapq.heappush(self._ready_heap, block.ref)
         else:
             self._horizon.add(block.ref)
 
@@ -326,6 +399,8 @@ class Interpreter:
         proceed.  Rehydration is per-predecessor: partially restored
         states are harmless (the block is diverted anyway and the
         restored prefix can be re-released by the next pruning pass)."""
+        if not self.released:
+            return True  # nothing is ever released on the fast path
         released = [p for p in set(block.preds) if p in self.released]
         if not released:
             return True
@@ -344,7 +419,7 @@ class Interpreter:
             return False
         state, active, own = restored
         self._states[ref] = state
-        self._active_labels[ref] = active
+        self._active_labels[ref] = self._active_pool.setdefault(active, active)
         self._own_labels[ref] = own
         self.released.discard(ref)
         self.rehydrated += 1
@@ -355,7 +430,7 @@ class Interpreter:
         self._tracked.add(ref)
         self._ready.discard(ref)
         self._pending.pop(ref, None)
-        for succ_ref in self.dag.graph.successors(ref):
+        for succ_ref in self.dag.graph.successors_view(ref):
             count = self._pending.get(succ_ref)
             if count is None:
                 continue
@@ -406,18 +481,66 @@ class Interpreter:
             # Hot path: pop the canonically smallest ready ref straight
             # off the heap — the exact schedule the frontier rescan
             # produced (it always picked the smallest eligible ref),
-            # without materializing the frontier each step.
-            while self._ready:
-                ref = heapq.heappop(self._ready_heap)
-                if ref not in self._ready:
-                    continue  # stale: interpreted or diverted meanwhile
-                try:
-                    self.interpret_block(self.dag.require(ref))
-                except BaseException:
-                    # Keep heap ⊇ ready even when a protocol step blows
-                    # up mid-run, so a later run() still sees the block.
-                    heapq.heappush(self._ready_heap, ref)
-                    raise
+            # without materializing the frontier each step.  A
+            # singleton ready set (the steady-state gossip shape) is
+            # trivially the smallest choice and skips the heap
+            # entirely; its stale entry is cleared with the rest once
+            # the queue drains.
+            ready = self._ready
+            require = self.dag.require
+            while ready:
+                if len(ready) == 1:
+                    for ref in ready:
+                        break
+                else:
+                    ref = heapq.heappop(self._ready_heap)
+                    if ref not in ready:
+                        continue  # stale: interpreted or diverted meanwhile
+                block = require(ref)
+                popped = True
+                chain_len = 1
+                while True:
+                    try:
+                        # Ready ⇒ eligible: all guards of
+                        # interpret_block hold by scheduler invariant
+                        # (release_state diverts ready successors), so
+                        # go straight to the execution body.
+                        self._execute(block, self.dag.predecessors(block))
+                    except BaseException:
+                        # Keep heap ⊇ ready even when a protocol step
+                        # blows up mid-run, so a later run() still sees
+                        # the block.  Followed (never-popped) blocks
+                        # still have their original heap entry.
+                        if popped:
+                            heapq.heappush(self._ready_heap, block.ref)
+                        raise
+                    # Chain-batched drain: when interpreting this block
+                    # left exactly one ready block, it is the only
+                    # canonical choice — follow it directly instead of
+                    # round-tripping through the heap.  The schedule is
+                    # identical to the rescan oracle's; a gossip
+                    # catch-up drain (one builder's chain unblocking
+                    # link by link) rides this path end to end.
+                    if len(ready) != 1:
+                        break
+                    for next_ref in ready:
+                        break
+                    next_block = require(next_ref)
+                    if next_block.n == block.n and next_block.k == block.k + 1:
+                        chain_len += 1
+                    else:
+                        if chain_len >= 2:
+                            self.chain_runs += 1
+                            self.chain_blocks += chain_len
+                        chain_len = 1
+                    block = next_block
+                    popped = False
+                if chain_len >= 2:
+                    self.chain_runs += 1
+                    self.chain_blocks += chain_len
+            # Entries the singleton/chain fast paths never popped are
+            # all stale now that the queue is drained.
+            self._ready_heap.clear()
             return self.events[start:]
         while True:
             frontier = self.eligible()
@@ -428,7 +551,13 @@ class Interpreter:
         return self.events[start:]
 
     def interpret_block(self, block: Block) -> list[IndicationEvent]:
-        """Interpret one eligible block (Algorithm 2 lines 4–14)."""
+        """Interpret one eligible block (Algorithm 2 lines 4–14).
+
+        Checks eligibility first — this is the public entry point for
+        callers driving their own schedules (tests, the rescan mode).
+        The incremental hot loop calls :meth:`_execute` directly: a
+        block popped from the ready queue has these guards discharged
+        by construction."""
         if block.ref in self.interpreted:
             raise SimulationError(f"block already interpreted: {block!r}")
         if block.ref not in self.dag:
@@ -446,9 +575,14 @@ class Interpreter:
                 f"pruned below the stable frontier: "
                 f"{[p.ref[:8] for p in pruned]}"
             )
+        return self._execute(block, preds)
 
+    def _execute(
+        self, block: Block, preds: list[Block]
+    ) -> list[IndicationEvent]:
+        """Algorithm 2 lines 4–14 proper, eligibility already assured."""
         state = BlockState()
-        parent = self._parent_of(block, preds)
+        parent = parent_of(block, preds)
         if parent is not None:
             # Line 4 — share the parent's instances copy-on-write; every
             # mutation below copies first.
@@ -456,43 +590,86 @@ class Interpreter:
         owned: set[Label] = set()
 
         new_events: list[IndicationEvent] = []
+        # Work counters accumulate locally and commit with line 12
+        # below: a protocol step raising mid-block must not leave
+        # counters counting work of a block never marked interpreted.
+        request_steps = 0
+        delivered = 0
+        materialized = 0
 
         # Lines 5–6: requests carried by this block, in list order.
         for request_label, request in block.rs:
             result = self._step(
                 state, owned, block, request_label, lambda pi: pi.step_request(request)
             )
-            self.request_steps += 1
+            request_steps += 1
             state.ms.add_out(request_label, result.messages)
-            self.messages_materialized += len(result.messages)
+            materialized += len(result.messages)
             new_events.extend(
                 self._emit(block, request_label, result.indications)
             )
 
-        # Line 7: labels with a request strictly in the past.  One
-        # mutable accumulator instead of per-predecessor temporaries —
-        # this runs for every block, on the hottest path there is.
-        gathered: set[Label] = set()
+        # Line 7: labels with a request strictly in the past.  Active
+        # sets are interned — one frozenset object per distinct set —
+        # so the steady-state shape (every predecessor carrying the
+        # same active set, no request for a new label) is recognized by
+        # object identity and reuses the shared set without building a
+        # single temporary.  This runs for every block, on the hottest
+        # path there is.
+        active_labels = self._active_labels
+        base: frozenset[Label] = _EMPTY_LABELS
+        gathered: set[Label] | None = None
+        first = True
         for p in preds:
-            gathered.update(self._active_labels[p.ref])
+            fs = active_labels[p.ref]
+            if first:
+                base = fs
+                first = False
+            elif fs is not base:
+                if gathered is None:
+                    gathered = set(base)
+                gathered.update(fs)
+        for p in preds:
             for lbl, _ in p.rs:
+                if gathered is None:
+                    if lbl in base:
+                        continue
+                    gathered = set(base)
                 gathered.add(lbl)
-        active = frozenset(gathered)
+        if gathered is None:
+            active = base
+        else:
+            frozen = frozenset(gathered)
+            active = self._active_pool.setdefault(frozen, frozen)
 
-        pred_states = [self._states[p.ref] for p in preds]
-        for message_label in sorted(active):
+        states = self._states
+        pred_states = [states[p.ref] for p in preds]
+        receiver = block.n
+        # The canonical label order only matters when there is a choice.
+        label_order = active if len(active) < 2 else sorted(active)
+        for message_label in label_order:
             # Lines 8–9: gather messages addressed to B.n from direct
-            # predecessors' out-buffers.  The union is unordered here;
-            # <_M is applied once below (line 10), so the raw sets are
-            # read without paying for a per-predecessor sort.
-            incoming: set[Message] = set()
+            # predecessors' out-buffers, through the receiver index —
+            # each emitted message is examined by the one successor
+            # label/receiver pair it is for, not by every referencing
+            # block.  Raw index reads (see MessageBuffers.outgoing_to —
+            # a method call per (pred, label) pair was measurable
+            # here); the union is unordered, <_M is applied once below
+            # (line 10).
+            incoming: set[Message] | None = None
             for pred_state in pred_states:
-                incoming.update(
-                    m
-                    for m in pred_state.ms.outgoing_set(message_label)
-                    if m.receiver == block.n
-                )
-            if not incoming:
+                buffers = pred_state._ms
+                if buffers is None:
+                    continue  # block emitted nothing at all
+                by_receiver = buffers._out_rcv.get(message_label)
+                if by_receiver:
+                    messages = by_receiver.get(receiver)
+                    if messages:
+                        if incoming is None:
+                            incoming = set(messages)
+                        else:
+                            incoming.update(messages)
+            if incoming is None:
                 continue
             state.ms.add_in(message_label, incoming)
             # Lines 10–11: feed in <_M order; union the responses.
@@ -504,19 +681,23 @@ class Interpreter:
                     message_label,
                     lambda pi: pi.step_message(message),
                 )
-                self.messages_delivered += 1
+                delivered += 1
                 state.ms.add_out(message_label, result.messages)
-                self.messages_materialized += len(result.messages)
+                materialized += len(result.messages)
                 new_events.extend(
                     self._emit(block, message_label, result.indications)
                 )
 
-        # Line 12.
-        self._states[block.ref] = state
-        self._active_labels[block.ref] = active
-        self._own_labels[block.ref] = frozenset(owned)
+        # Line 12 — annotation, interpreted mark and work counters
+        # commit together (nothing above this point mutated them).
+        states[block.ref] = state
+        active_labels[block.ref] = active
+        self._own_labels[block.ref] = frozenset(owned) if owned else _EMPTY_LABELS
         self.interpreted.add(block.ref)
         self.blocks_interpreted += 1
+        self.request_steps += request_steps
+        self.messages_delivered += delivered
+        self.messages_materialized += materialized
         if self.incremental:
             self._on_interpreted(block.ref)
         return new_events
@@ -538,14 +719,20 @@ class Interpreter:
         action: Callable[[ProcessInstance], StepResult],
     ) -> StepResult:
         """Apply ``action`` to the builder's process for ``label``,
-        copying shared state first (copy-on-write discipline)."""
+        copying shared state first (copy-on-write discipline).
+
+        With ``cow=True`` the ownership copy is a structural fork —
+        O(fields), containers shared until the step's own write barrier
+        touches them; with ``cow=False`` it is the oracle's full
+        ``copy.deepcopy``.  Either way the parent block's instance is
+        never mutated, so annotations stay per-block."""
         instance = state.pis.get(label)
         if instance is None:
             instance = self.protocol.create(self.servers, block.n, label)
             state.pis[label] = instance
             owned.add(label)
         elif label not in owned:
-            instance = copy.deepcopy(instance)
+            instance = instance.fork() if self.cow else copy.deepcopy(instance)
             state.pis[label] = instance
             owned.add(label)
         return action(instance)

@@ -27,13 +27,43 @@ call plus the outbox drain into one deterministic transition.
 Process instances must be deep-copyable (Algorithm 2 line 4 copies
 ``B.parent.PIs`` onto ``B``), which holds automatically as long as
 implementations keep only plain data in their attributes.
+
+**Structural sharing (the copy-on-write state layer).**  The paper's
+footnote 1 (§4) observes that a real implementation would avoid the
+per-block annotation-copy cost with a global-state representation.  We
+get the same effect while keeping per-block annotations observable: a
+:class:`ProcessInstance` carries a *generation stamp* and per-container
+ownership stamps (the state-cell table ``_cells``), :meth:`~ProcessInstance.fork`
+produces an O(fields) clone whose containers are *shared* with the
+original, and every mutation goes through a **write barrier**
+(:meth:`~ProcessInstance._writable` / :meth:`~ProcessInstance._writable_entry`)
+that copies only the touched container the first time the owning
+generation touches it.  Observable state is byte-identical to the
+deep-copy formulation — the interpreter keeps that formulation alive as
+the ``cow=False`` oracle and property tests assert trace equality.
+
+Rules for protocol authors:
+
+* scalar attributes (ints, bools, frozen dataclasses, ``None``) need no
+  barrier — rebinding ``self.x = ...`` is automatically private;
+* a flat mutable container is mutated through
+  ``self._writable("_field")`` (copies the whole container once per
+  generation — fine for small containers);
+* a keyed container-of-containers (quorum sets per value, votes per
+  view, ...) is mutated through
+  ``self._writable_entry("_field", key, factory)``, which shallow-copies
+  the outer map once and privatizes only the touched entry — per-step
+  cost stays proportional to the touched bucket, not total state;
+* never mix both barriers on the same field: ``_writable`` assumes it
+  owns the field *deeply*, ``_writable_entry`` only per-entry.
 """
 
 from __future__ import annotations
 
+import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Hashable, Sequence
 
 from repro.dag.codec import register_dataclass
 from repro.types import Indication, Label, Request, ServerId, max_faults, quorum_size
@@ -139,18 +169,128 @@ class Context:
         return result
 
 
+#: Monotone source of generation stamps.  A generation identifies one
+#: *owner* of container state: the instance that created (or forked)
+#: it.  Stamps only ever compare for equality, so a process-global
+#: counter is enough — and it is never persisted (checkpoints snapshot
+#: logical state only, see :data:`INTERNAL_STATE_ATTRS`).
+_GENERATIONS = itertools.count(1)
+
+#: Framework bookkeeping attributes that are *not* protocol state:
+#: excluded from snapshots, fingerprints and checkpoints so the
+#: structurally-shared representation stays observationally identical
+#: to the deep-copy one.
+INTERNAL_STATE_ATTRS = frozenset({"ctx", "_gen", "_cells"})
+
+
+def fork_container(value: Any) -> Any:
+    """Structural copy of one state container.
+
+    Built-in mutable containers are copied recursively; everything else
+    (scalars, frozen dataclasses, messages) is immutable protocol data
+    and is *shared* — which is what makes this dramatically cheaper
+    than ``copy.deepcopy`` on message-heavy quorum state.  Set elements
+    are hashable, hence immutable, hence shareable wholesale.
+    """
+    if isinstance(value, dict):
+        return {k: fork_container(v) for k, v in value.items()}
+    if isinstance(value, set):
+        return set(value)
+    if isinstance(value, list):
+        return [fork_container(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(fork_container(v) for v in value)
+    return value
+
+
 class ProcessInstance(ABC):
     """One process of a deterministic protocol ``P`` — ``B.PIs[ℓ]``.
 
     Subclasses implement :meth:`on_request` and :meth:`on_message`,
     using ``self.ctx`` for all effects.  State lives in plain instance
-    attributes; the framework deep-copies instances along parent chains
-    (Algorithm 2 line 4), which splits state on equivocation forks
-    exactly as the paper describes (§4, byzantine discussion).
+    attributes; the framework *forks* instances along parent chains
+    (Algorithm 2 line 4) with structural sharing — see the module
+    docstring — while ``copy.deepcopy`` remains valid (and is the
+    ``cow=False`` oracle's copy discipline): a deep copy clones ``_gen``
+    and ``_cells`` together, so the clone owns exactly what the original
+    owned, over containers that are now private anyway.
     """
 
     def __init__(self, ctx: Context) -> None:
         self.ctx = ctx
+        #: This instance's generation stamp (who "I" am as an owner).
+        self._gen = next(_GENERATIONS)
+        #: The state-cell table: container field name (or ``(name,
+        #: key)`` for keyed entries) -> generation that privately owns
+        #: it.  Empty after a fork — nothing is owned until written.
+        self._cells: dict[Hashable, int] = {}
+
+    # -- structural sharing (the copy-on-write state layer) ---------------------
+
+    def fork(self) -> "ProcessInstance":
+        """An O(fields) clone sharing every container with ``self``.
+
+        The clone gets a fresh generation and an empty cell table, so
+        its first mutation of any container copies it (write barrier);
+        untouched containers stay shared forever.  The context is
+        shared too — it carries only static identity plus effect queues
+        that are drained within every step.  This is Algorithm 2's
+        line-4 copy made O(1)-ish; equivocation forks still split state
+        exactly as the paper describes, because *each* sibling copies
+        before its first write.
+        """
+        cls = type(self)
+        clone = cls.__new__(cls)
+        if hasattr(self, "__dict__"):
+            clone.__dict__.update(self.__dict__)
+        for klass in cls.__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if hasattr(self, slot):
+                    object.__setattr__(clone, slot, getattr(self, slot))
+        clone._gen = next(_GENERATIONS)
+        clone._cells = {}
+        return clone
+
+    def _writable(self, name: str) -> Any:
+        """Write barrier for a flat container field.
+
+        Returns a container the current generation privately owns,
+        copying the (possibly shared) one on first touch.  Mutations of
+        container fields must go through here (or
+        :meth:`_writable_entry`); reads never need to.
+        """
+        value = getattr(self, name)
+        if self._cells.get(name) != self._gen:
+            value = fork_container(value)
+            setattr(self, name, value)
+            self._cells[name] = self._gen
+        return value
+
+    def _writable_entry(
+        self, name: str, key: Hashable, factory: Callable[[], Any]
+    ) -> Any:
+        """Write barrier for one entry of a keyed container-of-containers.
+
+        Privatizes the *outer* map with a shallow copy (entries still
+        shared) once per generation, then privatizes only the ``key``
+        entry — creating it via ``factory`` when absent.  Per-step cost
+        is O(outer size) pointer-copying once plus O(touched bucket),
+        independent of how much state the other buckets hold: the
+        property behind the flat curve of ``bench_cow_states``.
+        """
+        outer = getattr(self, name)
+        if self._cells.get(name) != self._gen:
+            outer = dict(outer)
+            setattr(self, name, outer)
+            self._cells[name] = self._gen
+        cell = (name, key)
+        if self._cells.get(cell) != self._gen:
+            entry = outer.get(key)
+            entry = factory() if entry is None else fork_container(entry)
+            outer[key] = entry
+            self._cells[cell] = self._gen
+            return entry
+        return outer[key]
 
     # -- protocol logic (implemented by concrete protocols) --------------------
 

@@ -96,11 +96,11 @@ class ConsistentBroadcast(ProcessInstance):
         # cannot both reach a quorum.
         if origin in self._echoed_for:
             return
-        self._echoed_for.add(origin)
+        self._writable("_echoed_for").add(origin)
         self.ctx.broadcast(BcbEcho(origin, value))
 
     def _on_echo(self, sender: ServerId, origin: ServerId, value: Value) -> None:
-        witnesses = self._echoes.setdefault((origin, value), set())
+        witnesses = self._writable_entry("_echoes", (origin, value), set)
         witnesses.add(sender)
         if len(witnesses) >= self.ctx.quorum and not self.delivered:
             self.delivered = True

@@ -105,15 +105,16 @@ class ReliableBroadcast(ProcessInstance):
         if not self.echoed:
             self.echoed = True
             self.ctx.broadcast(Echo(value))
-        # Lines 9–11: 2f+1 ECHO v → READY v.
-        senders = self._echo_senders.setdefault(value, set())
+        # Lines 9–11: 2f+1 ECHO v → READY v.  Write barrier: only this
+        # value's sender set is copied out of shared state.
+        senders = self._writable_entry("_echo_senders", value, set)
         senders.add(sender)
         if len(senders) >= self.ctx.quorum and not self.readied:
             self.readied = True
             self.ctx.broadcast(Ready(value))
 
     def _on_ready(self, sender: ServerId, value: Value) -> None:
-        senders = self._ready_senders.setdefault(value, set())
+        senders = self._writable_entry("_ready_senders", value, set)
         senders.add(sender)
         # Lines 12–14: f+1 READY v → READY v (amplification).
         if len(senders) >= self.ctx.f + 1 and not self.readied:

@@ -165,7 +165,7 @@ class Pbft(ProcessInstance):
         value = self.prepared_value if self.prepared_view >= 0 else self.pending
         if value is None:
             return
-        self._sent_preprepare.add(self.view)
+        self._writable("_sent_preprepare").add(self.view)
         self.ctx.broadcast(PrePrepare(self.view, value))
 
     def _on_tick(self) -> None:
@@ -178,7 +178,7 @@ class Pbft(ProcessInstance):
     def _vote_view_change(self, new_view: int) -> None:
         if new_view <= self.view or new_view in self._sent_viewchange:
             return
-        self._sent_viewchange.add(new_view)
+        self._writable("_sent_viewchange").add(new_view)
         self.view = new_view
         self.ticks_in_view = 0
         self.ctx.broadcast(
@@ -210,15 +210,15 @@ class Pbft(ProcessInstance):
             return
         if msg.view in self._preprepared:
             return  # accept at most one proposal per view
-        self._preprepared[msg.view] = msg.value
+        self._writable("_preprepared")[msg.view] = msg.value
         if msg.view not in self._sent_prepare:
-            self._sent_prepare.add(msg.view)
+            self._writable("_sent_prepare").add(msg.view)
             self.ctx.broadcast(Prepare(msg.view, msg.value))
 
     def _on_prepare(self, sender: ServerId, msg: Prepare) -> None:
         key = (msg.view, encoding_key(msg.value))
-        self._prepares.setdefault(key, set()).add(sender)
-        self._prepare_values[key] = msg.value
+        self._writable_entry("_prepares", key, set).add(sender)
+        self._writable("_prepare_values")[key] = msg.value
         self._check_prepared(msg.view)
 
     def _check_prepared(self, view: int) -> None:
@@ -229,23 +229,24 @@ class Pbft(ProcessInstance):
             return
         key = (view, encoding_key(accepted))
         if len(self._prepares.get(key, ())) >= self.ctx.quorum:
-            self._sent_commit.add(view)
+            self._writable("_sent_commit").add(view)
             self.prepared_view = view
             self.prepared_value = accepted
             self.ctx.broadcast(Commit(view, accepted))
 
     def _on_commit(self, sender: ServerId, msg: Commit) -> None:
         key = (msg.view, encoding_key(msg.value))
-        self._commits.setdefault(key, set()).add(sender)
+        commits = self._writable_entry("_commits", key, set)
+        commits.add(sender)
         if self.done:
             return
-        if len(self._commits[key]) >= self.ctx.quorum:
+        if len(commits) >= self.ctx.quorum:
             self.decided = msg.value
             self.done = True
             self.ctx.indicate(Decide(msg.value))
 
     def _on_viewchange(self, sender: ServerId, msg: ViewChange) -> None:
-        votes = self._viewchanges.setdefault(msg.new_view, {})
+        votes = self._writable_entry("_viewchanges", msg.new_view, dict)
         votes[sender] = (msg.prepared_view, msg.prepared_value)
         if self.done:
             return
@@ -283,7 +284,7 @@ class Pbft(ProcessInstance):
             value = self.pending
         if value is None:
             return  # nothing to propose yet; a later Propose will lead
-        self._sent_newview.add(new_view)
+        self._writable("_sent_newview").add(new_view)
         self.ctx.broadcast(NewView(new_view, value))
 
     def _on_newview(self, sender: ServerId, msg: NewView) -> None:
@@ -297,9 +298,9 @@ class Pbft(ProcessInstance):
             self.ticks_in_view = 0
         if msg.view in self._preprepared:
             return
-        self._preprepared[msg.view] = msg.value
+        self._writable("_preprepared")[msg.view] = msg.value
         if msg.view not in self._sent_prepare:
-            self._sent_prepare.add(msg.view)
+            self._writable("_sent_prepare").add(msg.view)
             self.ctx.broadcast(Prepare(msg.view, msg.value))
 
 

@@ -106,7 +106,9 @@ class PhaseKing(ProcessInstance):
         payload = message.payload
         if not isinstance(payload, PkValue):
             raise TypeError(f"phase king received foreign payload {payload!r}")
-        slot = self._received.setdefault((payload.phase, payload.round), {})
+        slot = self._writable_entry(
+            "_received", (payload.phase, payload.round), dict
+        )
         # First value per sender per round counts; a byzantine sender
         # gains nothing by repetition.
         slot.setdefault(message.sender, payload.value)

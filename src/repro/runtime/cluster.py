@@ -114,6 +114,9 @@ class ClusterConfig:
     gossip: GossipConfig = field(default_factory=GossipConfig)
     #: Interpret incrementally on insertion (False = off-line mode).
     auto_interpret: bool = True
+    #: Structurally-shared instance states (False = the deepcopy
+    #: oracle, for cow-vs-oracle equivalence runs).
+    cow: bool = True
     #: Root directory for per-server durable storage (``<dir>/<server>``).
     #: ``None`` (default) keeps everything in RAM, as before.
     storage_dir: str | Path | None = None
@@ -212,6 +215,7 @@ class Cluster:
             config=self.config.gossip,
             auto_interpret=self.config.auto_interpret,
             storage=storage,
+            cow=self.config.cow,
         )
 
     # -- convenience ------------------------------------------------------------
@@ -403,6 +407,7 @@ class Cluster:
         cluster-wide sum cannot show it."""
         blocks = delivered = materialized = requests = 0
         horizon = rehydrated = condemned = 0
+        chain_runs = chain_blocks = 0
         by_server: dict[str, dict[str, int]] = {}
         for server, shim in self.shims.items():
             interpreter = shim.interpreter
@@ -412,6 +417,8 @@ class Cluster:
             requests += interpreter.request_steps
             horizon += interpreter.below_horizon
             rehydrated += interpreter.rehydrated
+            chain_runs += interpreter.chain_runs
+            chain_blocks += interpreter.chain_blocks
             condemned += shim.gossip.metrics.condemned_below_horizon
             by_server[str(server)] = {
                 "below_horizon": interpreter.below_horizon,
@@ -428,6 +435,8 @@ class Cluster:
             below_horizon=horizon,
             rehydrated=rehydrated,
             condemned_below_horizon=condemned,
+            chain_runs=chain_runs,
+            chain_blocks=chain_blocks,
             by_server=by_server,
         )
 

@@ -80,6 +80,11 @@ class InterpreterSnapshot:
     #: Arriving blocks rejected because their position was already below
     #: the agreed horizon (the coordinated-GC validity rule firing).
     condemned_below_horizon: int = 0
+    #: Same-builder chain runs the batched drain followed without heap
+    #: traffic, and the blocks those runs covered (chain-batched
+    #: interpretation at work — catch-up drains, recovery replays).
+    chain_runs: int = 0
+    chain_blocks: int = 0
     #: Per-server ``{below_horizon, rehydrated, condemned_below_horizon}``.
     by_server: dict[str, dict[str, int]] = field(default_factory=dict)
 
@@ -92,6 +97,8 @@ class InterpreterSnapshot:
             "below_horizon": self.below_horizon,
             "rehydrated": self.rehydrated,
             "condemned_below_horizon": self.condemned_below_horizon,
+            "chain_runs": self.chain_runs,
+            "chain_blocks": self.chain_blocks,
             "by_server": {
                 server: {k: counters[k] for k in sorted(counters)}
                 for server, counters in sorted(self.by_server.items())

@@ -242,6 +242,26 @@ def _gc_horizon_soak(smoke: bool) -> Scenario:
     )
 
 
+def _cow_state_growth(smoke: bool) -> Scenario:
+    return Scenario(
+        name="cow-state-growth",
+        protocol="ledger",
+        description="Replicated append-only ledger under sustained "
+        "load: per-instance state grows with every applied entry, the "
+        "workload the structurally-shared state layer keeps cheap "
+        "(the scenario behind benchmarks/bench_cow_states.py; run it "
+        "with topology.cow=false for the deepcopy-oracle arm).",
+        workload=OpenLoopWorkload(
+            rate=4 if smoke else 8,
+            rounds=8 if smoke else 16,
+            shared_label="ledger",
+        ),
+        stop=And((AllDelivered(), DagsConverged())),
+        probes=("total-blocks", "blocks-interpreted", "delivered"),
+        max_rounds=32 if smoke else 48,
+    )
+
+
 def _offline_interpretation(smoke: bool) -> Scenario:
     return Scenario(
         name="offline-interpretation",
@@ -267,6 +287,7 @@ REGISTRY: dict[str, ScenarioBuilder] = {
     "closed-loop": _closed_loop,
     "pruning": _pruning,
     "gc-horizon-soak": _gc_horizon_soak,
+    "cow-state-growth": _cow_state_growth,
     "offline-interpretation": _offline_interpretation,
 }
 

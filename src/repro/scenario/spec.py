@@ -23,6 +23,7 @@ from repro.protocols.base import ProtocolSpec
 from repro.protocols.bcb import BcbBroadcast, bcb_protocol
 from repro.protocols.brb import Broadcast, brb_protocol
 from repro.protocols.counter import Inc, counter_protocol
+from repro.protocols.ledger import Append, ledger_protocol
 from repro.protocols.pbft import Propose, pbft_protocol
 from repro.protocols.phaseking import PkPropose, phase_king_protocol
 from repro.scenario.faults import FaultSchedule
@@ -50,6 +51,7 @@ PROTOCOLS: dict[str, ProtocolEntry] = {
     "brb": ProtocolEntry("brb", brb_protocol, lambda i: Broadcast(i)),
     "bcb": ProtocolEntry("bcb", bcb_protocol, lambda i: BcbBroadcast(i)),
     "counter": ProtocolEntry("counter", counter_protocol, lambda i: Inc(i + 1)),
+    "ledger": ProtocolEntry("ledger", ledger_protocol, lambda i: Append(i)),
     "pbft": ProtocolEntry("pbft", pbft_protocol, lambda i: Propose(f"v{i}")),
     "phaseking": ProtocolEntry(
         "phaseking", phase_king_protocol, lambda i: PkPropose(i % 2)
@@ -116,6 +118,9 @@ class StorageSpec:
     #: ``False`` = the seed's Lemma-A.6 full-reference pruner, kept as
     #: the comparison arm for ``bench_gc_horizon``.
     horizon_gc: bool = True
+    #: Memory release exempts the last this-many checkpoints' cone
+    #: (anti-thrash pin window; ``0`` = release as eagerly as allowed).
+    pin_recent_checkpoints: int = 2
 
     def build(self) -> StorageConfig:
         return StorageConfig(
@@ -123,6 +128,7 @@ class StorageSpec:
             segment_max_bytes=self.segment_max_bytes,
             prune=self.prune,
             horizon_gc=self.horizon_gc,
+            pin_recent_checkpoints=self.pin_recent_checkpoints,
         )
 
     def to_json_dict(self) -> dict[str, object]:
@@ -131,6 +137,7 @@ class StorageSpec:
             "segment_max_bytes": self.segment_max_bytes,
             "prune": self.prune,
             "horizon_gc": self.horizon_gc,
+            "pin_recent_checkpoints": self.pin_recent_checkpoints,
         }
 
     @staticmethod
@@ -151,6 +158,11 @@ class Topology:
     latency: LatencySpec = field(default_factory=LatencySpec)
     auto_interpret: bool = True
     storage: StorageSpec | None = None
+    #: Structurally-shared instance states.  ``False`` runs every shim
+    #: on the ``copy.deepcopy`` oracle path — the comparison arm of the
+    #: cow-vs-oracle property tests (same convention as
+    #: ``incremental=False``).
+    cow: bool = True
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -167,6 +179,7 @@ class Topology:
             "latency": self.latency.to_json_dict(),
             "auto_interpret": self.auto_interpret,
             "storage": None if self.storage is None else self.storage.to_json_dict(),
+            "cow": self.cow,
         }
 
     @staticmethod

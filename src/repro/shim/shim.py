@@ -19,6 +19,7 @@ test suite checks that literally, by comparing traces against
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Sequence
 
 from repro.crypto.keys import KeyRing
@@ -80,6 +81,10 @@ class Shim:
         Indications replayed for the post-checkpoint suffix re-fire the
         ``on_indication`` callback: delivery is at-least-once across a
         crash, exactly like any durable-log system.
+    cow:
+        Structurally-shared instance states (the default).  ``False``
+        restores the ``copy.deepcopy`` ownership copy — the executable
+        oracle convention, like ``Interpreter(..., incremental=False)``.
     """
 
     def __init__(
@@ -92,6 +97,7 @@ class Shim:
         on_indication: IndicationHandler | None = None,
         auto_interpret: bool = True,
         storage: ServerStorage | None = None,
+        cow: bool = True,
     ) -> None:
         self.server = server
         self.protocol = protocol
@@ -117,6 +123,7 @@ class Shim:
             dag=self.dag,
             config=config,
             on_insert=self._on_insert,
+            on_batch_end=self._on_batch_end,
             horizon=self.horizon if self.coordinated_gc else None,
         )
         self.interpreter = Interpreter(  # line 5
@@ -124,6 +131,7 @@ class Shim:
             protocol,
             keyring.servers,
             on_indication=self._on_event,
+            cow=cow,
         )
         if self.coordinated_gc:
             self.interpreter.rehydrator = self._rehydrate_state
@@ -139,10 +147,24 @@ class Shim:
         #: naturally on restart — a recovered server must re-earn every
         #: streak).
         self._destruction_streaks: dict[BlockRef, int] = {}
+        #: Interpreted sets of the last ``pin_recent_checkpoints``
+        #: checkpoints, newest last — the pruner pins everything
+        #: interpreted since the oldest of them (the recent cone),
+        #: damping release→rehydrate thrash near the tip.
+        self._recent_frontiers: "deque[frozenset[BlockRef]]" = deque(
+            maxlen=max(
+                1,
+                storage.config.pin_recent_checkpoints if storage is not None else 1,
+            )
+        )
         if storage is not None and storage.has_data():
             self.recovery = recover_shim_state(self)
             self._interpreted_at_checkpoint = self.interpreter.blocks_interpreted
             self._last_checkpoint = self.recovery.checkpoint
+            if self._last_checkpoint is not None:
+                self._recent_frontiers.append(
+                    frozenset(self._last_checkpoint.refs)
+                )
             if self.coordinated_gc and self._last_checkpoint is not None:
                 # Resume claiming where the previous incarnation left
                 # off: the recovered checkpoint is our durable frontier.
@@ -178,16 +200,29 @@ class Shim:
         self.gossip.on_receive(src, envelope)
 
     def _on_insert(self, block: Block) -> None:
-        # Write-ahead: the block is durable before any visible effect of
-        # its insertion (interpretation, indications) can happen.
+        # Write-ahead intent: the block joins the WAL chain-frame
+        # buffer here; the frame is flushed at the gossip batch end —
+        # always *before* interpretation, so the block is durable
+        # before any visible effect (indications) can happen.  A whole
+        # buffered chain admitted by one arrival becomes one WAL record
+        # instead of one per block.
         if self.storage is not None:
             self.storage.append_block(block)
+
+    def _on_batch_end(self) -> None:
+        # One external gossip event (arrival or dissemination) fully
+        # cascaded: make its insertions durable, then interpret the
+        # newly eligible suffix in one batched pass.
+        if self.storage is not None:
+            self.storage.flush_wal()
         if self.auto_interpret:
             self.interpreter.run()
             self._maybe_checkpoint()
 
     def interpret_now(self) -> list[IndicationEvent]:
         """Run interpretation to the current DAG frontier (off-line mode)."""
+        if self.storage is not None:
+            self.storage.flush_wal()
         events = self.interpreter.run()
         self._maybe_checkpoint()
         return events
@@ -250,6 +285,7 @@ class Shim:
                 protected=frozenset(self.gossip.buffered_references()),
                 destruction_delay=self.storage.config.destruction_delay,
                 streaks=self._destruction_streaks,
+                pinned=self._pinned_recent(),
             )
             self.storage.metrics.states_released += report.states_released
             self.storage.metrics.payloads_dropped += report.payloads_dropped
@@ -262,11 +298,28 @@ class Shim:
         )
         self.storage.write_checkpoint(checkpoint)
         self._last_checkpoint = checkpoint
+        self._recent_frontiers.append(frozenset(checkpoint.refs))
         self._interpreted_at_checkpoint = self.interpreter.blocks_interpreted
         if self.coordinated_gc:
             self.gossip.builder.set_claim(
                 durable_frontier(self.dag, self.keyring.servers, checkpoint.refs)
             )
+
+    def _pinned_recent(self) -> frozenset[BlockRef]:
+        """The recent cone the pruner must not release: everything
+        interpreted since the ``pin_recent_checkpoints``-th most recent
+        checkpoint.  Until that many checkpoints exist, everything is
+        pinned — the window has not opened yet."""
+        if self.storage is None:
+            return frozenset()
+        window = self.storage.config.pin_recent_checkpoints
+        if window <= 0:
+            return frozenset()
+        if len(self._recent_frontiers) < window:
+            return frozenset(self.interpreter.interpreted)
+        return frozenset(
+            self.interpreter.interpreted - self._recent_frontiers[0]
+        )
 
     def _rehydrate_state(
         self, ref: BlockRef

@@ -57,6 +57,14 @@ class StorageConfig:
     #: sibling's vouching references get a couple of checkpoint cycles
     #: to surface before the data they need is gone.
     destruction_delay: int = 2
+    #: Memory release exempts the last this-many checkpoints' cone
+    #: (blocks interpreted since the K-th most recent checkpoint).
+    #: Damps rehydration thrash: a block released the moment it is
+    #: fully referenced is often re-read by a straggler a round later,
+    #: forcing a checkpoint rehydration for zero memory benefit.
+    #: ``0`` releases as aggressively as the rules allow (the old
+    #: behavior).
+    pin_recent_checkpoints: int = 2
     #: fsync WAL appends (off: simulated crashes never lose the page cache).
     fsync: bool = False
 
@@ -82,6 +90,12 @@ class StorageMetrics:
 class ServerStorage:
     """All durable state of one server, rooted at ``directory``."""
 
+    #: Chain frames are flushed once they hold this many blocks even if
+    #: no batch boundary arrived (bounds buffered memory; durability
+    #: still precedes interpretation because flushes only ever happen
+    #: earlier, never later, than the batch end).
+    CHAIN_FRAME_MAX_BLOCKS = 64
+
     def __init__(self, directory: str | Path, config: StorageConfig | None = None) -> None:
         self.directory = Path(directory)
         self.config = config if config is not None else StorageConfig()
@@ -95,6 +109,12 @@ class ServerStorage:
             retain=self.config.checkpoints_retained,
         )
         self.metrics = StorageMetrics()
+        #: Blocks appended since the last WAL flush, in insertion
+        #: order.  One WAL record ("chain frame") is written per
+        #: maximal same-builder run at flush time — the shim flushes at
+        #: every gossip batch end, *before* interpretation, so a crash
+        #: can only lose blocks that never had a visible effect.
+        self._pending: list[Block] = []
 
     # -- queries -------------------------------------------------------------------
 
@@ -119,8 +139,43 @@ class ServerStorage:
     # -- the write path ------------------------------------------------------------
 
     def append_block(self, block: Block) -> None:
-        """Durably log one block (called *before* acting on the insert)."""
-        self.wal.append(codec.encode(block), ref=str(block.ref))
+        """Queue one inserted block for the WAL (chain-frame buffered).
+
+        The caller contract is *flush before any visible effect*: the
+        shim calls :meth:`flush_wal` at every gossip batch end, before
+        the interpreter runs, so every interpreted (and a fortiori
+        every checkpointed) block is durable.  Blocks buffered here and
+        lost to a crash never had observable consequences — recovery
+        treats them as never received and they re-arrive over gossip.
+        """
+        self._pending.append(block)
+        if len(self._pending) >= self.CHAIN_FRAME_MAX_BLOCKS:
+            self.flush_wal()
+
+    def flush_wal(self) -> None:
+        """Write buffered blocks as one WAL record per same-builder run.
+
+        Framing a drained chain as a single record amortizes the
+        per-block record header/CRC/flush cost, and tagging it with the
+        builder (``chain_key``) lets the WAL rotate segments on chain
+        boundaries — which is what makes whole segments retire together
+        under the GC horizon."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        start = 0
+        for i in range(1, len(pending) + 1):
+            if i == len(pending) or pending[i].n != pending[start].n:
+                run = pending[start:i]
+                # A lone block keeps the bare-Block framing: the tuple
+                # wrapper only pays for itself when it amortizes.
+                payload = codec.encode(run[0] if len(run) == 1 else tuple(run))
+                self.wal.append(
+                    payload,
+                    refs=[str(b.ref) for b in run],
+                    chain_key=str(run[0].n),
+                )
+                start = i
 
     def write_checkpoint(self, checkpoint: Checkpoint) -> None:
         """Persist a checkpoint, then GC WAL segments it fully covers.
@@ -130,6 +185,10 @@ class ServerStorage:
         checkpoint's skeletons are the only copy of the pruned prefix,
         so GC must never act on a write the disk garbled.
         """
+        # Invariant: a checkpoint never covers an unflushed block.  The
+        # shim flushes before interpreting, so this is normally a
+        # no-op; it makes direct callers safe too.
+        self.flush_wal()
         self.checkpoints.write(checkpoint)
         if self.config.prune:
             try:
@@ -167,13 +226,19 @@ class ServerStorage:
         segment_refs: dict[int, list[str]] = {}
         for index, payload in self.wal.replay():
             value = codec.decode(payload)
-            if not isinstance(value, Block):
+            # A record is either one block (legacy framing) or a chain
+            # frame: a tuple of consecutive same-builder blocks.
+            frame = (value,) if isinstance(value, Block) else value
+            if not isinstance(frame, (tuple, list)) or not all(
+                isinstance(b, Block) for b in frame
+            ):
                 raise StorageError(
                     f"WAL record in segment {index} decoded to "
-                    f"{type(value).__name__}, expected Block"
+                    f"{type(value).__name__}, expected Block or chain frame"
                 )
-            blocks.append(value)
-            segment_refs.setdefault(index, []).append(str(value.ref))
+            for block in frame:
+                blocks.append(block)
+                segment_refs.setdefault(index, []).append(str(block.ref))
         for segment in self.wal.segments():
             if segment.index in segment_refs:
                 segment.refs = segment_refs[segment.index]
@@ -187,4 +252,5 @@ class ServerStorage:
 
     def close(self) -> None:
         """Clean shutdown (crashes simply abandon the object)."""
+        self.flush_wal()
         self.wal.close()

@@ -187,7 +187,14 @@ def capture_checkpoint(
         parent = _parent_ref(dag, ref)
         base = parent if (parent is not None and parent in planned) else None
         labels = own if base is not None else state.pis.keys()
-        buffers = state.ms.snapshot()
+        # Raw slot read: ``state.ms`` would materialize the lazily
+        # allocated buffers for every message-less block on every
+        # checkpoint, defeating the laziness exactly where it pays.
+        buffers = (
+            state._ms.snapshot()
+            if state._ms is not None
+            else {"in": {}, "out": {}}
+        )
         states[ref] = {
             "pis": {
                 str(lbl): snapshot_process(state.pis[lbl])
@@ -234,6 +241,8 @@ def capture_checkpoint(
             "messages_materialized": interpreter.messages_materialized,
             "request_steps": interpreter.request_steps,
             "rehydrated": interpreter.rehydrated,
+            "chain_runs": interpreter.chain_runs,
+            "chain_blocks": interpreter.chain_blocks,
         },
     )
 
@@ -329,8 +338,13 @@ def install_checkpoint(
         interpreter._own_labels[ref] = frozenset(
             Label(l) for l in entry.get("own", ())
         )
-        labels = checkpoint.active.get(ref, ())
-        interpreter._active_labels[ref] = frozenset(Label(l) for l in labels)
+        labels = frozenset(Label(l) for l in checkpoint.active.get(ref, ()))
+        # Route through the interpreter's intern pool so restored
+        # annotations share active-set objects with live ones (the
+        # line-7 gather's identity fast path).
+        interpreter._active_labels[ref] = interpreter._active_pool.setdefault(
+            labels, labels
+        )
         restored += 1
     interpreter.interpreted |= set(checkpoint.refs)
     interpreter.released |= set(checkpoint.released)

@@ -76,13 +76,21 @@ def prunable_refs(
     interpreter: Interpreter,
     durable: frozenset[BlockRef],
     horizon: Mapping[ServerId, SeqNum] | None = None,
+    pinned: frozenset[BlockRef] = frozenset(),
 ) -> list[BlockRef]:
     """Refs safe to release, in topological (prefix-first) order.
 
     ``durable`` is the set of refs whose annotations the latest written
     checkpoint holds (rule 1); ``horizon`` is the agreed horizon vector
     (rule 2's coordinated arm; ``None`` = legacy full-reference only);
-    the graph rules are evaluated against the current DAG.
+    the graph rules are evaluated against the current DAG.  ``pinned``
+    refs are exempt from release even when every rule holds — the
+    shim pins the last few checkpoints' cone, because a block released
+    the instant it is fully referenced tends to be re-read (and
+    rehydrated from the checkpoint) by stragglers a round or two later:
+    release→rehydrate thrash that inflates ``rehydrated`` for zero
+    memory benefit.  Pinning only *delays* release, so every safety
+    argument is untouched.
     """
     servers = set(interpreter.servers)
     result: list[BlockRef] = []
@@ -90,6 +98,8 @@ def prunable_refs(
     for block in topological_order(dag):
         ref = block.ref
         if ref in accepted:
+            continue
+        if ref in pinned:
             continue
         if ref not in durable or ref not in interpreter.interpreted:
             continue
@@ -117,6 +127,7 @@ def prune(
     protected: frozenset[BlockRef] = frozenset(),
     destruction_delay: int = 0,
     streaks: "dict[BlockRef, int] | None" = None,
+    pinned: frozenset[BlockRef] = frozenset(),
 ) -> PruneReport:
     """Release interpreter states and drop block payloads below the
     stable frontier.  WAL segment dropping is the storage layer's job
@@ -153,9 +164,16 @@ def prune(
 
     State release stays active either way — released states are
     rehydratable, destruction is not.
+
+    ``pinned`` (see :func:`prunable_refs`) exempts the recent-cone
+    window from memory release — the anti-thrash damper; since pinned
+    blocks are never released, they can never become destruction
+    candidates either.
     """
     report = PruneReport()
-    for ref in prunable_refs(dag, interpreter, durable, horizon=horizon):
+    for ref in prunable_refs(
+        dag, interpreter, durable, horizon=horizon, pinned=pinned
+    ):
         interpreter.release_state(ref)
         report.states_released += 1
         if horizon is None:
@@ -206,15 +224,23 @@ def prune(
                 if {dag.require(s).n for s in successors} < servers:
                     remaining.append(block)
                     continue
-                if not all(p in payload_dropped for p in set(block.preds)):
-                    remaining.append(block)
-                    continue
+                # Hysteresis matures on the *race-relevant* conditions
+                # (below-horizon, settled, fully referenced) alone.
+                # Down-closure is checked after: it is pure destruction
+                # sequencing, not evidence about late references — with
+                # the streak gated behind it, each DAG layer had to
+                # re-earn the full delay after its predecessors fell,
+                # capping steady-state destruction at one layer per
+                # checkpoint while gossip adds several.
                 if streaks is not None and ref not in examined:
                     examined.add(ref)
                     streak = streaks.get(ref, 0) + 1
                     streaks[ref] = streak
                     if streak <= destruction_delay:
                         continue  # eligible, but not for long enough yet
+                if not all(p in payload_dropped for p in set(block.preds)):
+                    remaining.append(block)
+                    continue
                 _drop_payload(dag, ref, report)
                 payload_dropped.add(ref)
                 if streaks is not None:

@@ -27,7 +27,11 @@ from typing import Any, Sequence
 
 from repro.dag import codec
 from repro.errors import CheckpointError
-from repro.protocols.base import ProcessInstance, ProtocolSpec
+from repro.protocols.base import (
+    INTERNAL_STATE_ATTRS,
+    ProcessInstance,
+    ProtocolSpec,
+)
 from repro.types import Label, ServerId
 
 # Wire-form tags.  Single characters keep encodings small; the tagged
@@ -84,16 +88,22 @@ def thaw(wire: Any) -> Any:
 
 
 def _instance_attrs(instance: ProcessInstance) -> dict[str, Any]:
-    """All persistent attributes of a process instance (``ctx`` excluded
-    — it is reconstructed, not stored)."""
+    """All persistent attributes of a process instance.
+
+    ``ctx`` is excluded (reconstructed, not stored), as are the
+    copy-on-write generation stamp and cell table
+    (:data:`~repro.protocols.base.INTERNAL_STATE_ATTRS`) — structural-
+    sharing bookkeeping that two behaviourally identical instances may
+    disagree on, and that a restored instance rebuilds fresh."""
     attrs: dict[str, Any] = {}
     if hasattr(instance, "__dict__"):
         attrs.update(instance.__dict__)
     for klass in type(instance).__mro__:
         for slot in getattr(klass, "__slots__", ()):
-            if slot != "ctx" and hasattr(instance, slot):
+            if slot not in INTERNAL_STATE_ATTRS and hasattr(instance, slot):
                 attrs.setdefault(slot, getattr(instance, slot))
-    attrs.pop("ctx", None)
+    for name in INTERNAL_STATE_ATTRS:
+        attrs.pop(name, None)
     return attrs
 
 

@@ -71,6 +71,9 @@ class WalSegment:
     records: int = 0
     size: int = 0
     refs: list[str] = field(default_factory=list)
+    #: Chain key (builder id) of the last record appended by this
+    #: handle — transient rotation state, never persisted.
+    last_chain: str | None = None
 
 
 class WriteAheadLog:
@@ -94,12 +97,25 @@ class WriteAheadLog:
         directory: str | Path,
         segment_max_bytes: int = 256 * 1024,
         fsync: bool = False,
+        rotate_min_bytes: int | None = None,
     ) -> None:
         if segment_max_bytes < 1:
             raise ValueError(f"segment_max_bytes must be positive: {segment_max_bytes}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.segment_max_bytes = segment_max_bytes
+        #: Builder-chain boundary rotation (GC alignment): once a
+        #: segment is at least this full, the next append carrying a
+        #: *different* ``chain_key`` rolls to a fresh segment.  Without
+        #: it, segments end mid-chain wherever the byte cap happens to
+        #: land, so in short runs nearly every segment interleaves
+        #: retired (skeletal) refs with one live chain's tail and
+        #: segment GC never fires.  Default: a quarter of the byte cap.
+        self.rotate_min_bytes = (
+            rotate_min_bytes
+            if rotate_min_bytes is not None
+            else max(1, segment_max_bytes // 4)
+        )
         self.fsync = fsync
         self.stats = WalStats()
         self._segments: dict[int, WalSegment] = {}
@@ -115,21 +131,47 @@ class WriteAheadLog:
 
     # -- appending ----------------------------------------------------------------
 
-    def append(self, payload: bytes, ref: str | None = None) -> int:
+    def append(
+        self,
+        payload: bytes,
+        ref: str | None = None,
+        refs: "tuple[str, ...] | list[str] | None" = None,
+        chain_key: str | None = None,
+    ) -> int:
         """Append one record; returns the index of the segment it landed
-        in.  ``ref`` optionally tags the record (the block reference) so
-        segment-granular pruning can check coverage."""
-        segment = self._writable_segment(len(payload))
+        in.
+
+        ``ref`` (one block) or ``refs`` (a chain frame holding several)
+        tag the record with the block references it carries, so
+        segment-granular pruning can check coverage.  ``chain_key``
+        names the builder chain the record belongs to; an append whose
+        key differs from the segment's previous record rotates the
+        segment early once it is ``rotate_min_bytes`` full, aligning
+        segment boundaries with builder-chain boundaries."""
+        segment = self._writable_segment(len(payload), chain_key)
         record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         self._handle.write(record)
         self._handle.flush()
         segment.records += 1
         segment.size += len(record)
+        segment.last_chain = chain_key
         if ref is not None:
             segment.refs.append(ref)
+        if refs is not None:
+            segment.refs.extend(refs)
         self.stats.appends += 1
         self.stats.bytes_appended += len(record)
         return segment.index
+
+    def _should_rotate(self, segment: WalSegment, chain_key: str | None) -> bool:
+        if segment.size >= self.segment_max_bytes:
+            return True
+        return (
+            chain_key is not None
+            and segment.last_chain is not None
+            and chain_key != segment.last_chain
+            and segment.size >= self.rotate_min_bytes
+        )
 
     def sync(self) -> None:
         """Flush (and optionally fsync) the active segment."""
@@ -148,13 +190,15 @@ class WriteAheadLog:
             self._handle = None
             self._active = None
 
-    def _writable_segment(self, payload_size: int) -> WalSegment:
-        if self._active is not None and self._active.size >= self.segment_max_bytes:
+    def _writable_segment(
+        self, payload_size: int, chain_key: str | None = None
+    ) -> WalSegment:
+        if self._active is not None and self._should_rotate(self._active, chain_key):
             self.close()
         if self._active is None:
             index = max(self._segments, default=0)
             current = self._segments.get(index)
-            if current is None or current.size >= self.segment_max_bytes:
+            if current is None or current.size >= self.rotate_min_bytes:
                 index += 1
                 current = WalSegment(
                     index=index, path=self.directory / _segment_name(index)

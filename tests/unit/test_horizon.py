@@ -509,7 +509,13 @@ class TestRecoveryRehydration:
                 self.StubTransport(),
                 storage=ServerStorage(
                     tmp_path,
-                    StorageConfig(checkpoint_interval=10_000, prune=True),
+                    # pin_recent_checkpoints=0: this test *wants* the
+                    # most aggressive release schedule — it exercises
+                    # the rehydration path the pin window exists to damp.
+                    StorageConfig(
+                        checkpoint_interval=10_000, prune=True,
+                        pin_recent_checkpoints=0,
+                    ),
                 ),
             )
 

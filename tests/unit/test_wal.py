@@ -134,3 +134,97 @@ class TestCrashTails:
         path.write_bytes(bytes(data))
         with pytest.raises(WalCorruptionError):
             WriteAheadLog(tmp_path)
+
+
+class TestChainFraming:
+    """Chain frames + builder-boundary segment rotation (PR 5)."""
+
+    def test_multi_ref_tagging(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        log.append(b"frame", refs=["r1", "r2", "r3"], chain_key="s1")
+        (segment,) = log.segments()
+        assert segment.refs == ["r1", "r2", "r3"]
+
+    def test_rotates_on_chain_boundary_once_min_full(self, tmp_path):
+        log = WriteAheadLog(
+            tmp_path, segment_max_bytes=1024, rotate_min_bytes=32
+        )
+        log.append(b"a" * 40, chain_key="s1")   # past rotate_min
+        log.append(b"b" * 40, chain_key="s1")   # same chain: no rotation
+        assert len(log.segments()) == 1
+        log.append(b"c" * 40, chain_key="s2")   # boundary: rotates
+        segments = log.segments()
+        assert len(segments) == 2
+        assert segments[0].last_chain == "s1"
+        assert segments[1].last_chain == "s2"
+
+    def test_no_rotation_below_min(self, tmp_path):
+        log = WriteAheadLog(
+            tmp_path, segment_max_bytes=1024, rotate_min_bytes=512
+        )
+        for chain in ("s1", "s2", "s3", "s4"):
+            log.append(b"x" * 20, chain_key=chain)
+        assert len(log.segments()) == 1
+
+    def test_untagged_appends_never_rotate_early(self, tmp_path):
+        log = WriteAheadLog(
+            tmp_path, segment_max_bytes=1024, rotate_min_bytes=16
+        )
+        log.append(b"a" * 40, chain_key="s1")
+        log.append(b"b" * 40)  # no chain key: byte cap rules only
+        assert len(log.segments()) == 1
+
+
+class TestServerStorageChainFrames:
+    """ServerStorage buffers inserts and frames same-builder runs."""
+
+    def _blocks(self):
+        from helpers import ManualDagBuilder
+
+        builder = ManualDagBuilder(3)
+        s1, s2, _ = builder.servers
+        chain = [builder.block(s1) for _ in range(3)]
+        other = [builder.block(s2, refs=[chain[-1]])]
+        return builder.dag.blocks()[:0] + chain + other
+
+    def test_flush_frames_runs_and_roundtrips(self, tmp_path):
+        from repro.storage.blockstore import ServerStorage, StorageConfig
+
+        storage = ServerStorage(tmp_path, StorageConfig())
+        blocks = self._blocks()
+        for block in blocks:
+            storage.append_block(block)
+        # Nothing durable until the flush...
+        assert storage.wal.stats.appends == 0
+        storage.flush_wal()
+        # ...then one record per same-builder run: [s1 s1 s1], [s2].
+        assert storage.wal.stats.appends == 2
+        assert storage.load_blocks() == blocks
+        (segment,) = storage.wal.segments()
+        assert segment.refs == [str(b.ref) for b in blocks]
+
+    def test_close_flushes(self, tmp_path):
+        from repro.storage.blockstore import ServerStorage, StorageConfig
+
+        storage = ServerStorage(tmp_path, StorageConfig())
+        blocks = self._blocks()
+        for block in blocks:
+            storage.append_block(block)
+        storage.close()
+        reopened = ServerStorage(tmp_path, StorageConfig())
+        assert reopened.load_blocks() == blocks
+
+    def test_crash_loses_only_the_unflushed_tail(self, tmp_path):
+        from repro.storage.blockstore import ServerStorage, StorageConfig
+
+        storage = ServerStorage(tmp_path, StorageConfig())
+        blocks = self._blocks()
+        for block in blocks[:2]:
+            storage.append_block(block)
+        storage.flush_wal()
+        for block in blocks[2:]:
+            storage.append_block(block)
+        # Crash: abandon the object without flush/close.
+        del storage
+        survivor = ServerStorage(tmp_path, StorageConfig())
+        assert survivor.load_blocks() == blocks[:2]
