@@ -38,6 +38,13 @@ class CostSummary:
     checkpoint_age_blocks: int = 0
     pruned_blocks: int = 0
     pruned_wal_segments: int = 0
+    # Coordinated-GC health (zero on the direct baseline and on runs
+    # without horizon GC): blocks stalled below a pruned predecessor,
+    # annotations rebuilt from a covering checkpoint, and arrivals
+    # condemned by the agreed-horizon validity rule.
+    below_horizon: int = 0
+    rehydrated: int = 0
+    condemned_below_horizon: int = 0
     extra: dict[str, float] = field(default_factory=dict)
 
     def signature_ops(self) -> int:
@@ -55,6 +62,9 @@ class CostSummary:
             "blocks": self.blocks,
             "indications": self.indications,
             "t_virt": round(self.virtual_time, 2),
+            "below horizon": self.below_horizon,
+            "rehydrated": self.rehydrated,
+            "condemned": self.condemned_below_horizon,
         }
         if self.wal_appends:
             row["wal bytes"] = self.wal_bytes
@@ -79,6 +89,10 @@ def collect_cluster_costs(cluster: Cluster, name: str = "block-dag") -> CostSumm
     interp = cluster.interpreter_metrics()
     summary.protocol_messages_materialized = interp["messages_materialized"]
     summary.protocol_messages_delivered = interp["messages_delivered"]
+    gc_health = cluster.interpreter_snapshot()
+    summary.below_horizon = gc_health.below_horizon
+    summary.rehydrated = gc_health.rehydrated
+    summary.condemned_below_horizon = gc_health.condemned_below_horizon
     summary.blocks = cluster.total_blocks()
     summary.indications = sum(
         len(shim.indications) for shim in cluster.shims.values()

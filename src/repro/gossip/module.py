@@ -40,9 +40,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Sequence  # noqa: F401 - Sequence used in signatures
 
 from repro.crypto.keys import KeyRing
+from repro.obs.trace import NULL_RECORDER
 from repro.dag.block import Block, BlockBuilder
 from repro.dag.blockdag import BlockDag, Validator, Validity
 from repro.gossip.forwarding import ForwardingState
@@ -116,6 +118,14 @@ class Gossip:
         :class:`~repro.horizon.tracker.HorizonTracker`).  When given,
         arriving blocks below the agreed horizon are condemned with
         cause instead of buffered.
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceRecorder` — every seal,
+        admission, condemnation and buffering emits a typed event
+        stamped with virtual time.  Defaults to the no-op recorder.
+    timers:
+        Optional :class:`~repro.obs.timers.HotPathTimers` — wall-clock
+        histograms (signature verification here), never visible in the
+        trace, so timing cannot perturb determinism.
     """
 
     def __init__(
@@ -129,6 +139,8 @@ class Gossip:
         on_insert: Callable[[Block], None] | None = None,
         on_batch_end: Callable[[], None] | None = None,
         horizon: object | None = None,
+        tracer: object | None = None,
+        timers: object | None = None,
     ) -> None:
         self.server = server
         self.keyring = keyring
@@ -139,6 +151,12 @@ class Gossip:
         self.on_insert = on_insert
         self.on_batch_end = on_batch_end
         self.horizon = horizon
+        #: Flight recorder (``repro.obs``); the shared no-op recorder
+        #: when tracing is off, so emission sites cost one attribute
+        #: check.  ``timers`` holds wall-clock hot-path histograms and
+        #: stays strictly outside trace identity.
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
+        self.timers = timers
         #: Inserts since the last batch-end notification.
         self._batch_inserts = 0
         self.builder = BlockBuilder(server)
@@ -193,11 +211,20 @@ class Gossip:
         if block.ref in self.dag or block.ref in self.blks:
             self.metrics.duplicate_blocks += 1
             return
-        if not self.keyring.verify(block.n, block.signing_payload(), block.sigma):
+        timers = self.timers
+        if timers is not None:
+            started = perf_counter()
+            verified = self.keyring.verify(block.n, block.signing_payload(), block.sigma)
+            timers.observe("sig-verify", perf_counter() - started)  # type: ignore[attr-defined]
+        else:
+            verified = self.keyring.verify(block.n, block.signing_payload(), block.sigma)
+        if not verified:
             # Ingress signature check: a badly signed copy is treated as
             # never received, so it can neither occupy the buffer slot of
             # the honest copy (they share a ref) nor waste FWD traffic.
             self.metrics.invalid_blocks += 1
+            if self.tracer.enabled:
+                self.tracer.emit("condemned", block=block.ref, cause="bad-signature")  # type: ignore[attr-defined]
             return
         if self.horizon is not None and self.horizon.condemns(block):  # type: ignore[attr-defined]
             # Coordinated-GC validity rule: the block's position is
@@ -206,6 +233,10 @@ class Gossip:
             # Condemn with cause (buffered descendants are discarded by
             # the cached-INVALID cascade) instead of stalling them.
             self.metrics.condemned_below_horizon += 1
+            if self.tracer.enabled:
+                self.tracer.emit(  # type: ignore[attr-defined]
+                    "condemned", block=block.ref, cause="below-horizon-position"
+                )
             self.validator.condemn(block.ref)
             self._queue_unblocked(block.ref)
             return
@@ -216,6 +247,14 @@ class Gossip:
         )
         self._try_admit(block)  # cascades through _on_dag_insert
         if block.ref in self.blks:
+            if self.tracer.enabled:
+                missing = [p for p in dict.fromkeys(block.preds) if p not in self.dag]
+                self.tracer.emit(  # type: ignore[attr-defined]
+                    "buffered-missing-pred",
+                    block=block.ref,
+                    missing=len(missing),
+                    first_missing=str(missing[0]) if missing else None,
+                )
             # Still buffered: chase only *this* block's missing preds —
             # every other buffered block already requested its own on
             # arrival, and _retry_forwarding re-issues on the timer.
@@ -252,6 +291,8 @@ class Gossip:
         if verdict is Validity.INVALID:
             del self.blks[block.ref]
             self.metrics.invalid_blocks += 1
+            if self.tracer.enabled:
+                self.tracer.emit("condemned", block=block.ref, cause="invalid")  # type: ignore[attr-defined]
             # Waiters on this ref must be re-checked: with the INVALID
             # verdict now cached they are invalid themselves (Def. 3.3
             # (iii)) and get discarded by the same cascade.
@@ -272,6 +313,10 @@ class Gossip:
                 # with cause instead of admitting a permanent stall.
                 del self.blks[block.ref]
                 self.metrics.condemned_below_horizon += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(  # type: ignore[attr-defined]
+                        "condemned", block=block.ref, cause="below-horizon-reference"
+                    )
                 self.validator.condemn(block.ref)
                 self._queue_unblocked(block.ref)
                 return True
@@ -329,6 +374,10 @@ class Gossip:
                 return
             self.metrics.blocks_inserted += 1
             self._batch_inserts += 1
+            if self.tracer.enabled:
+                self.tracer.emit(  # type: ignore[attr-defined]
+                    "block-validated", block=block.ref, n=str(block.n), k=block.k
+                )
             if block.n != self.server:
                 # Line 8: reference every newly validated foreign block in
                 # our own next block; own blocks already chain via parent.
@@ -413,6 +462,14 @@ class Gossip:
             requests,
             sign=lambda payload: self.keyring.sign(self.server, payload),
         )
+        if self.tracer.enabled:
+            self.tracer.emit(  # type: ignore[attr-defined]
+                "block-sealed",
+                block=block.ref,
+                n=str(block.n),
+                k=block.k,
+                requests=len(requests),
+            )
         self._insert(block)
         self.metrics.blocks_disseminated += 1
         self._end_batch()

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING
 
 from repro.dag.block import Block
 from repro.horizon.claims import merge_claim
+from repro.obs.trace import NULL_RECORDER
 from repro.types import SeqNum, ServerId, max_faults
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -61,8 +62,11 @@ class HorizonTracker:
         self,
         servers: "list[ServerId] | tuple[ServerId, ...]",
         dag: "BlockDag | None" = None,
+        tracer: object | None = None,
     ) -> None:
         self.servers: tuple[ServerId, ...] = tuple(servers)
+        #: Flight recorder; every agreed-horizon advance emits one event.
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
         #: Claims needed before a frontier becomes agreed: ``n - f``.
         self.threshold = len(self.servers) - max_faults(len(self.servers))
         self._claims: dict[ServerId, dict[ServerId, SeqNum]] = {}
@@ -135,3 +139,7 @@ class HorizonTracker:
             if agreed > self._horizon[server]:
                 self._horizon[server] = agreed
                 self.advances += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(  # type: ignore[attr-defined]
+                        "horizon-advance", chain=str(server), k=int(agreed)
+                    )

@@ -64,9 +64,11 @@ import copy
 import heapq
 import weakref
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Iterable, Sequence
 
 from repro.dag.block import Block, parent_of
+from repro.obs.trace import NULL_RECORDER
 from repro.dag.blockdag import BlockDag
 from repro.dag.traversal import eligible_frontier
 from repro.errors import PrunedStateError, SimulationError
@@ -149,6 +151,8 @@ class Interpreter:
         on_indication: Callable[[IndicationEvent], None] | None = None,
         incremental: bool = True,
         cow: bool = True,
+        tracer: object | None = None,
+        timers: object | None = None,
     ) -> None:
         self.dag = dag
         self.protocol = protocol
@@ -156,6 +160,12 @@ class Interpreter:
         self.on_indication = on_indication
         self.incremental = incremental
         self.cow = cow
+        #: Flight recorder (``repro.obs``) — the no-op recorder when
+        #: tracing is off, so the per-block emission site costs one
+        #: attribute check.  ``timers`` (wall-clock histograms) stays
+        #: outside trace identity.
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
+        self.timers = timers
         self.interpreted: set[BlockRef] = set()
         #: Refs whose states were pruned below the stable frontier; they
         #: stay in ``interpreted`` but their annotations are gone.
@@ -581,6 +591,9 @@ class Interpreter:
         self, block: Block, preds: list[Block]
     ) -> list[IndicationEvent]:
         """Algorithm 2 lines 4–14 proper, eligibility already assured."""
+        timers = self.timers
+        if timers is not None:
+            _started = perf_counter()
         state = BlockState()
         parent = parent_of(block, preds)
         if parent is not None:
@@ -698,6 +711,12 @@ class Interpreter:
         self.request_steps += request_steps
         self.messages_delivered += delivered
         self.messages_materialized += materialized
+        if self.tracer.enabled:
+            self.tracer.emit(  # type: ignore[attr-defined]
+                "interpreted", block=block.ref, n=str(block.n), k=block.k
+            )
+        if timers is not None:
+            timers.observe("interpret-block", perf_counter() - _started)  # type: ignore[attr-defined]
         if self.incremental:
             self._on_interpreted(block.ref)
         return new_events

@@ -25,11 +25,20 @@ from typing import Callable
 from repro.errors import NetworkError
 from repro.net.faults import FaultPlan
 from repro.net.latency import FixedLatency, LatencyModel
-from repro.net.message import Envelope
+from repro.net.message import BlockEnvelope, Envelope, FwdRequestEnvelope
 from repro.types import ServerId
 
 #: Handler invoked on delivery: ``handler(source, envelope)``.
 Handler = Callable[[ServerId, Envelope], None]
+
+
+def _envelope_ref(envelope: Envelope) -> str | None:
+    """The block reference an envelope is about, if any (trace labels)."""
+    if isinstance(envelope, BlockEnvelope):
+        return str(envelope.block.ref)
+    if isinstance(envelope, FwdRequestEnvelope):
+        return str(envelope.ref)
+    return None
 
 
 @dataclass(order=True)
@@ -86,6 +95,10 @@ class NetworkSimulator:
         self._heap: list[_Event] = []
         self._seq = 0
         self._handlers: dict[ServerId, Handler] = {}
+        #: Per-server flight recorders (``repro.obs``).  Empty — the
+        #: default — means tracing is off and the send/deliver paths
+        #: pay a single truthiness check.
+        self.tracers: dict[ServerId, object] = {}
 
     # -- wiring ---------------------------------------------------------------
 
@@ -109,6 +122,16 @@ class NetworkSimulator:
         if dst not in self._handlers:
             raise NetworkError(f"unknown destination: {dst!r}")
         self.metrics.record(envelope)
+        if self.tracers:
+            tracer = self.tracers.get(src)
+            if tracer is not None:
+                tracer.emit(  # type: ignore[attr-defined]
+                    "wire-send",
+                    block=_envelope_ref(envelope),
+                    peer=dst,
+                    envelope=type(envelope).__name__,
+                    bytes=envelope.wire_size(),
+                )
         disposition = self.faults.disposition(src, dst, self.now, self.rng)
         if disposition.drop:
             self.dropped_count += 1
@@ -122,6 +145,16 @@ class NetworkSimulator:
         if handler is None:  # pragma: no cover - handlers never deregister
             return
         self.delivered_count += 1
+        if self.tracers:
+            tracer = self.tracers.get(dst)
+            if tracer is not None:
+                tracer.emit(  # type: ignore[attr-defined]
+                    "wire-recv",
+                    block=_envelope_ref(envelope),
+                    peer=src,
+                    envelope=type(envelope).__name__,
+                    bytes=envelope.wire_size(),
+                )
         handler(src, envelope)
 
     # -- timers ---------------------------------------------------------------

@@ -1,0 +1,52 @@
+"""Observability: deterministic flight recorder, lifecycle latencies,
+hot-path timers, and trace diffing.
+
+The paper's central property — interpretation is a pure function of
+the block DAG (Lemma 4.2) — means every server's observable behaviour
+is a *deterministic, comparable event stream*.  This package records
+that stream:
+
+- :mod:`repro.obs.trace` — per-server :class:`TraceRecorder` of typed
+  events stamped with virtual time and a monotonic sequence number.
+- :mod:`repro.obs.export` — JSONL export/load of recorded traces.
+- :mod:`repro.obs.lifecycle` — joins events into per-(block, server)
+  seal→receive→validate→interpret latencies with percentile summaries.
+- :mod:`repro.obs.timers` — wall-clock hot-path histograms, kept
+  strictly *outside* trace identity so traces stay seed-deterministic.
+- :mod:`repro.obs.diverge` — first-divergence finder over two traces.
+"""
+
+from repro.obs.diverge import (
+    Divergence,
+    first_chain_divergence,
+    first_divergence,
+    first_event_divergence,
+)
+from repro.obs.export import read_jsonl, write_jsonl
+from repro.obs.lifecycle import LifecycleIndex, LifecycleStats, StageSummary
+from repro.obs.timers import HotPathTimers
+from repro.obs.trace import (
+    NULL_RECORDER,
+    ClusterTracer,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "ClusterTracer",
+    "Divergence",
+    "HotPathTimers",
+    "LifecycleIndex",
+    "LifecycleStats",
+    "NullRecorder",
+    "StageSummary",
+    "TraceEvent",
+    "TraceRecorder",
+    "first_chain_divergence",
+    "first_divergence",
+    "first_event_divergence",
+    "read_jsonl",
+    "write_jsonl",
+]

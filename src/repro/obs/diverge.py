@@ -1,0 +1,175 @@
+"""First-divergence finder over two traces.
+
+Two alignment modes:
+
+- **event mode** — positional comparison of full event identities.
+  The right tool for *the same server across two runs*: determinism
+  says the streams must be identical, so the first mismatch is the
+  exact point where a seed leak / unordered iteration crept in.
+
+- **chain mode** — projects each trace onto per-builder validation
+  streams ``builder → [(k, ref), …]`` (from ``block-validated``
+  events) and compares those.  The right tool for *two different
+  servers of one run*: their full streams legitimately differ (wire
+  timing, peers), but per-chain admission is parent-first, so honest
+  chains validate in identical ``(k, ref)`` order at every correct
+  server — the first position where the refs differ is a fork, and
+  under an equivocator it *names the equivocating block*.
+
+:func:`first_divergence` picks chain mode first and falls back to
+event mode, which is the right default for "why do these two traces
+disagree".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.obs.trace import BLOCK_VALIDATED, TraceEvent
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The earliest point where two traces disagree.
+
+    ``mode`` is ``event-mismatch``/``event-length`` (event alignment)
+    or ``chain-fork``/``chain-order``/``chain-length`` (chain
+    alignment).  ``left``/``right`` describe what each side holds at
+    the diverging position (``None`` when a side has run out).
+    """
+
+    mode: str
+    index: int
+    left: Mapping[str, object] | None
+    right: Mapping[str, object] | None
+    builder: str | None = None
+    k: int | None = None
+
+    def describe(self) -> str:
+        if self.mode == "chain-fork":
+            assert self.left is not None and self.right is not None
+            return (
+                f"first divergence: builder {self.builder} chain position "
+                f"{self.index} (k={self.k}) — left validated block "
+                f"{self.left['ref']}, right validated block {self.right['ref']} "
+                f"(equivocation fork: same k, different blocks)"
+            )
+        if self.mode == "chain-order":
+            assert self.left is not None and self.right is not None
+            return (
+                f"first divergence: builder {self.builder} chain position "
+                f"{self.index} — left validated k={self.left['k']} "
+                f"({self.left['ref']}), right validated k={self.right['k']} "
+                f"({self.right['ref']})"
+            )
+        if self.mode == "chain-length":
+            present = self.left if self.left is not None else self.right
+            side = "left" if self.left is not None else "right"
+            assert present is not None
+            return (
+                f"first divergence: builder {self.builder} chain position "
+                f"{self.index} — only {side} validated k={present['k']} "
+                f"({present['ref']})"
+            )
+        if self.mode == "event-length":
+            present = self.left if self.left is not None else self.right
+            side = "left" if self.left is not None else "right"
+            assert present is not None
+            return (
+                f"first divergence: event {self.index} — only {side} has "
+                f"{present['kind']} at t={present['t']}"
+            )
+        assert self.left is not None and self.right is not None
+        return (
+            f"first divergence: event {self.index} — left "
+            f"{self.left['kind']} (t={self.left['t']}, block={self.left['block']}) "
+            f"vs right {self.right['kind']} "
+            f"(t={self.right['t']}, block={self.right['block']})"
+        )
+
+
+# -- event mode ----------------------------------------------------------------
+
+
+def first_event_divergence(
+    left: Sequence[TraceEvent], right: Sequence[TraceEvent]
+) -> Divergence | None:
+    """Positional identity comparison; ``None`` when identical."""
+    for index, (a, b) in enumerate(zip(left, right)):
+        if a.identity() != b.identity():
+            return Divergence("event-mismatch", index, a.to_dict(), b.to_dict())
+    if len(left) != len(right):
+        index = min(len(left), len(right))
+        extra_left = left[index].to_dict() if index < len(left) else None
+        extra_right = right[index].to_dict() if index < len(right) else None
+        return Divergence("event-length", index, extra_left, extra_right)
+    return None
+
+
+# -- chain mode ----------------------------------------------------------------
+
+
+def chain_streams(events: Sequence[TraceEvent]) -> dict[str, list[tuple[int, str]]]:
+    """Per-builder ``(k, ref)`` validation streams, in admission order."""
+    streams: dict[str, list[tuple[int, str]]] = {}
+    for event in events:
+        if event.kind != BLOCK_VALIDATED or event.block is None:
+            continue
+        builder = str(event.data.get("n", ""))
+        k = int(event.data.get("k", 0))  # type: ignore[arg-type]
+        streams.setdefault(builder, []).append((k, event.block))
+    return streams
+
+
+def first_chain_divergence(
+    left: Sequence[TraceEvent], right: Sequence[TraceEvent]
+) -> Divergence | None:
+    """Earliest per-builder validation mismatch, lowest ``(k, builder)``
+    first; ``None`` when every chain matches."""
+    streams_left = chain_streams(left)
+    streams_right = chain_streams(right)
+    best: Divergence | None = None
+    for builder in sorted(set(streams_left) | set(streams_right)):
+        sa = streams_left.get(builder, [])
+        sb = streams_right.get(builder, [])
+        candidate: Divergence | None = None
+        for index, (ea, eb) in enumerate(zip(sa, sb)):
+            if ea != eb:
+                mode = "chain-fork" if ea[0] == eb[0] else "chain-order"
+                candidate = Divergence(
+                    mode,
+                    index,
+                    {"k": ea[0], "ref": ea[1]},
+                    {"k": eb[0], "ref": eb[1]},
+                    builder=builder,
+                    k=min(ea[0], eb[0]),
+                )
+                break
+        if candidate is None and len(sa) != len(sb):
+            index = min(len(sa), len(sb))
+            longer = sa if len(sa) > len(sb) else sb
+            entry = {"k": longer[index][0], "ref": longer[index][1]}
+            candidate = Divergence(
+                "chain-length",
+                index,
+                entry if len(sa) > len(sb) else None,
+                entry if len(sb) > len(sa) else None,
+                builder=builder,
+                k=longer[index][0],
+            )
+        if candidate is not None and (
+            best is None or (candidate.k, candidate.builder) < (best.k, best.builder)
+        ):
+            best = candidate
+    return best
+
+
+def first_divergence(
+    left: Sequence[TraceEvent], right: Sequence[TraceEvent]
+) -> Divergence | None:
+    """Chain mode first (names forks), event mode as fallback."""
+    chain = first_chain_divergence(left, right)
+    if chain is not None:
+        return chain
+    return first_event_divergence(left, right)

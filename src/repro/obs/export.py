@@ -1,0 +1,55 @@
+"""JSONL export/load for recorded traces.
+
+One event per line, keys sorted, compact separators — so the bytes of
+an exported trace are a pure function of the event stream, and the
+"same seed ⇒ byte-identical trace" property can be checked with
+``diff``/``cmp`` on files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.obs.trace import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import ClusterTracer
+    from repro.types import ServerId
+
+
+def event_to_line(event: TraceEvent) -> str:
+    """One canonical JSON line (no trailing newline)."""
+    return json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> Path:
+    """Write events (oldest first) to ``path``, one JSON object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(event_to_line(event))
+            handle.write("\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Load a trace written by :func:`write_jsonl`."""
+    events: list[TraceEvent] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+def export_tracer(tracer: "ClusterTracer", directory: str | Path) -> dict["ServerId", Path]:
+    """Write every server's retained events to ``<directory>/<server>.jsonl``."""
+    directory = Path(directory)
+    paths: dict["ServerId", Path] = {}
+    for server, recorder in sorted(tracer.recorders.items(), key=lambda kv: str(kv[0])):
+        paths[server] = write_jsonl(recorder.snapshot(), directory / f"{server}.jsonl")
+    return paths

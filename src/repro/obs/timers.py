@@ -1,0 +1,127 @@
+"""Wall-clock hot-path histograms — strictly outside trace identity.
+
+The flight recorder stamps events with *virtual* time so traces stay
+seed-deterministic; real latency attribution needs *wall-clock*
+timings of the hot paths (interpret step, codec decode, signature
+verify, WAL append/fsync).  :class:`HotPathTimers` holds those
+measurements in log2 microsecond histograms and is never consulted by
+the recorder — enabling timers cannot perturb a trace's bytes.
+
+Instrumented sites hold ``self.timers`` (``None`` by default) and pay
+one ``is not None`` check when timing is off.
+"""
+
+from __future__ import annotations
+
+import math
+from time import perf_counter
+
+__all__ = ["Histogram", "HotPathTimers", "perf_counter"]
+
+#: Histogram buckets: bucket ``i`` covers durations < 2**i microseconds.
+_BUCKETS = 40
+
+
+class Histogram:
+    """A log2 histogram over microseconds with exact count/total/max."""
+
+    __slots__ = ("counts", "count", "total", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * _BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        us = seconds * 1e6
+        index = 0 if us < 1.0 else min(_BUCKETS - 1, int(math.log2(us)) + 1)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def quantile_us(self, fraction: float) -> float:
+        """Upper bucket edge (µs) containing the given quantile."""
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(fraction * self.count))
+        seen = 0
+        for index, bucket in enumerate(self.counts):
+            seen += bucket
+            if seen >= target:
+                return float(2**index)
+        return float(2 ** (_BUCKETS - 1))
+
+    def summary(self) -> dict[str, float]:
+        mean_us = (self.total / self.count * 1e6) if self.count else 0.0
+        return {
+            "count": float(self.count),
+            "total_s": self.total,
+            "mean_us": mean_us,
+            "p50_us": self.quantile_us(0.50),
+            "p99_us": self.quantile_us(0.99),
+            "max_us": self.max * 1e6,
+        }
+
+
+class HotPathTimers:
+    """Named wall-clock histograms for the stack's hot paths.
+
+    Canonical names: ``interpret-block``, ``codec-decode``,
+    ``sig-verify``, ``wal-flush``, ``checkpoint-write``.  Sites create
+    histograms on first use, so the vocabulary is open.
+    """
+
+    def __init__(self) -> None:
+        self._histograms: dict[str, Histogram] = {}
+
+    def observe(self, name: str, seconds: float) -> None:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(seconds)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._histograms)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        return {name: self._histograms[name].summary() for name in self.names()}
+
+    def render(self) -> str:
+        """A small fixed-width table for CLI output."""
+        lines = [
+            f"{'timer':<18} {'count':>8} {'mean µs':>10} {'p50 µs':>8} "
+            f"{'p99 µs':>8} {'max µs':>10}"
+        ]
+        for name in self.names():
+            s = self._histograms[name].summary()
+            lines.append(
+                f"{name:<18} {int(s['count']):>8} {s['mean_us']:>10.2f} "
+                f"{s['p50_us']:>8.0f} {s['p99_us']:>8.0f} {s['max_us']:>10.1f}"
+            )
+        return "\n".join(lines)
+
+    def timed(self, name: str) -> "_Timed":
+        """Context manager convenience for cold paths."""
+        return _Timed(self, name)
+
+
+class _Timed:
+    __slots__ = ("_timers", "_name", "_start")
+
+    def __init__(self, timers: HotPathTimers, name: str) -> None:
+        self._timers = timers
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timed":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._timers.observe(self._name, perf_counter() - self._start)

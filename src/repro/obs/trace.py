@@ -1,0 +1,237 @@
+"""The flight recorder: per-server typed event traces.
+
+Every layer of the stack emits :class:`TraceEvent` records into its
+server's :class:`TraceRecorder` — block sealed, wire send/recv,
+validated, condemned (with cause), buffered on a missing predecessor,
+interpreted, indication, WAL append, checkpoint, GC release/destroy,
+horizon advance, fault injected.  Events are stamped with **virtual
+time** (the simulator clock) and a monotonic per-server sequence
+number, never with wall-clock time, so the same scenario + seed
+replays to a byte-identical trace.
+
+Storage is a bounded ring buffer (:class:`collections.deque` with
+``maxlen``) by default; the sequence counter keeps counting past
+evictions so exported traces reveal how much history was dropped.
+
+When tracing is off, instrumentation sites hold the shared
+:data:`NULL_RECORDER` whose ``enabled`` flag is ``False`` — the hot
+path pays one attribute check and nothing else.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.types import ServerId
+
+#: Default ring-buffer capacity (events per server).
+DEFAULT_CAPACITY = 65536
+
+# -- event kinds (the trace vocabulary) ----------------------------------------
+
+BLOCK_SEALED = "block-sealed"
+BLOCK_VALIDATED = "block-validated"
+CONDEMNED = "condemned"
+BUFFERED_MISSING_PRED = "buffered-missing-pred"
+WIRE_SEND = "wire-send"
+WIRE_RECV = "wire-recv"
+INTERPRETED = "interpreted"
+INDICATION = "indication"
+WAL_APPEND = "wal-append"
+CHECKPOINT = "checkpoint"
+GC_RELEASE = "gc-release"
+GC_DESTROY = "gc-destroy"
+HORIZON_ADVANCE = "horizon-advance"
+FAULT_INJECTED = "fault-injected"
+
+#: All known event kinds (export sanity checks, docs).
+KINDS = frozenset(
+    {
+        BLOCK_SEALED,
+        BLOCK_VALIDATED,
+        CONDEMNED,
+        BUFFERED_MISSING_PRED,
+        WIRE_SEND,
+        WIRE_RECV,
+        INTERPRETED,
+        INDICATION,
+        WAL_APPEND,
+        CHECKPOINT,
+        GC_RELEASE,
+        GC_DESTROY,
+        HORIZON_ADVANCE,
+        FAULT_INJECTED,
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``seq`` is the per-server monotonic position (survives ring
+    eviction), ``t`` the virtual time of emission, ``kind`` one of the
+    vocabulary above, ``block``/``peer`` the optional block ref and
+    remote server the event concerns, ``data`` kind-specific fields.
+    """
+
+    seq: int
+    t: float
+    kind: str
+    block: str | None = None
+    peer: str | None = None
+    data: Mapping[str, object] = field(default_factory=dict)
+
+    def identity(self) -> tuple:
+        """What two traces must agree on for this event to 'match'.
+
+        Everything except ``seq``: two servers (or two runs) emit
+        independent sequence numbers, but the *content* of the streams
+        is what determinism promises.
+        """
+        return (self.t, self.kind, self.block, self.peer, tuple(sorted(self.data.items())))
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "seq": self.seq,
+            "t": self.t,
+            "kind": self.kind,
+            "block": self.block,
+            "peer": self.peer,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TraceEvent":
+        return cls(
+            seq=int(payload["seq"]),  # type: ignore[arg-type]
+            t=float(payload["t"]),  # type: ignore[arg-type]
+            kind=str(payload["kind"]),
+            block=None if payload.get("block") is None else str(payload["block"]),
+            peer=None if payload.get("peer") is None else str(payload["peer"]),
+            data=dict(payload.get("data", {})),  # type: ignore[arg-type]
+        )
+
+
+class TraceRecorder:
+    """A bounded, append-only event log for one server.
+
+    ``clock`` is a zero-argument callable returning virtual time — the
+    cluster wires it to ``sim.now`` so every timestamp is deterministic
+    under a fixed seed.  ``on_event`` (if given) sees every event at
+    emission time, *before* ring eviction can drop it — the lifecycle
+    index hangs off this hook.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        server: ServerId,
+        clock: Callable[[], float] | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+        on_event: Callable[[ServerId, TraceEvent], None] | None = None,
+    ) -> None:
+        self.server = server
+        self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self.capacity = capacity
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        #: Next sequence number; also the total emitted (incl. evicted).
+        self.seq = 0
+        self.on_event = on_event
+
+    def emit(
+        self,
+        kind: str,
+        block: object | None = None,
+        peer: object | None = None,
+        **data: object,
+    ) -> TraceEvent:
+        event = TraceEvent(
+            seq=self.seq,
+            t=self._clock(),
+            kind=kind,
+            block=None if block is None else str(block),
+            peer=None if peer is None else str(peer),
+            data=data,
+        )
+        self.seq += 1
+        self.events.append(event)
+        if self.on_event is not None:
+            self.on_event(self.server, event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound."""
+        return self.seq - len(self.events)
+
+    def snapshot(self) -> list[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self.events)
+
+
+class NullRecorder:
+    """The tracing-off recorder: ``enabled`` is False, ``emit`` is inert.
+
+    Instrumentation sites default to the shared :data:`NULL_RECORDER`
+    and guard emission with ``if self.tracer.enabled:`` — one attribute
+    check on the hot path, no allocation, no branch misprediction fuel.
+    """
+
+    enabled = False
+    server = None
+    seq = 0
+    events: tuple = ()
+    on_event = None
+
+    def emit(self, kind: str, block: object = None, peer: object = None, **data: object) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> list:
+        return []
+
+
+#: The shared no-op recorder every instrumentation point defaults to.
+NULL_RECORDER = NullRecorder()
+
+
+class ClusterTracer:
+    """One recorder per server + the cluster-wide lifecycle index.
+
+    The lifecycle index listens to every recorder's ``on_event`` hook,
+    so latency joins survive ring eviction.
+    """
+
+    def __init__(
+        self,
+        servers: Iterable[ServerId],
+        clock: Callable[[], float],
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        from repro.obs.lifecycle import LifecycleIndex
+
+        self.lifecycle = LifecycleIndex()
+        self.recorders: dict[ServerId, TraceRecorder] = {
+            server: TraceRecorder(
+                server, clock=clock, capacity=capacity, on_event=self.lifecycle.observe
+            )
+            for server in servers
+        }
+
+    def recorder(self, server: ServerId) -> TraceRecorder:
+        return self.recorders[server]
+
+    def export(self, directory) -> dict[ServerId, object]:
+        """Write one ``<server>.jsonl`` per recorder; returns the paths."""
+        from repro.obs.export import export_tracer
+
+        return export_tracer(self, directory)

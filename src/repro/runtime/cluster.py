@@ -28,6 +28,8 @@ from repro.net.faults import FaultPlan
 from repro.net.latency import FixedLatency, LatencyModel
 from repro.net.simulator import NetworkSimulator
 from repro.net.transport import RevocableTransport, SimTransport
+from repro.obs.timers import HotPathTimers
+from repro.obs.trace import DEFAULT_CAPACITY, ClusterTracer
 from repro.protocols.base import ProtocolSpec, Trace
 from repro.runtime.adversary import Adversary
 from repro.runtime.snapshots import (
@@ -122,6 +124,15 @@ class ClusterConfig:
     storage_dir: str | Path | None = None
     #: Persistence tunables, used when ``storage_dir`` is set.
     storage: StorageConfig = field(default_factory=StorageConfig)
+    #: Record per-server flight-recorder traces (``repro.obs``).  Off
+    #: by default: every instrumentation site then holds the shared
+    #: no-op recorder and pays one attribute check.
+    trace: bool = False
+    #: Ring-buffer capacity per server when tracing is on.
+    trace_capacity: int = DEFAULT_CAPACITY
+    #: Optional wall-clock hot-path histograms, shared by all servers.
+    #: Independent of ``trace`` — timers never enter trace identity.
+    timers: HotPathTimers | None = None
 
 
 class Cluster:
@@ -167,6 +178,17 @@ class Cluster:
         self.sim = NetworkSimulator(
             latency=self.config.latency, seed=self.config.seed, faults=faults
         )
+        #: The flight recorder set, one recorder per seat (adversaries
+        #: included — their wire traffic is part of the record), or
+        #: ``None`` when tracing is off.
+        self.tracer: ClusterTracer | None = None
+        if self.config.trace:
+            self.tracer = ClusterTracer(
+                self.servers,
+                clock=lambda: self.sim.now,
+                capacity=self.config.trace_capacity,
+            )
+            self.sim.tracers = dict(self.tracer.recorders)
         self.shims: dict[ServerId, Shim] = {}
         self.adversaries: dict[ServerId, Adversary] = {}
         #: Servers currently down (crashed, not yet restarted).
@@ -216,6 +238,8 @@ class Cluster:
             auto_interpret=self.config.auto_interpret,
             storage=storage,
             cow=self.config.cow,
+            tracer=self.tracer.recorder(server) if self.tracer is not None else None,
+            timers=self.config.timers,
         )
 
     # -- convenience ------------------------------------------------------------
@@ -261,6 +285,8 @@ class Cluster:
         self.sim.replace_handler(server, lambda src, envelope: None)
         self.down.add(server)
         self.crashes_performed += 1
+        if self.tracer is not None:
+            self.tracer.recorder(server).emit("fault-injected", fault="crash")
 
     def restart(self, server: ServerId) -> Shim:
         """Bring a crashed server back, recovering from disk.
@@ -272,6 +298,8 @@ class Cluster:
         if server not in self.down:
             raise SimulationError(f"server is not down: {server!r}")
         self.down.discard(server)
+        if self.tracer is not None:
+            self.tracer.recorder(server).emit("fault-injected", fault="restart")
         shim = self._build_shim(server)
         self.shims[server] = shim
         self.sim.replace_handler(server, shim.on_network)
@@ -503,6 +531,9 @@ def quick_cluster(
     auto_interpret: bool = True,
     storage_dir: str | Path | None = None,
     storage: StorageConfig | None = None,
+    trace: bool = False,
+    trace_capacity: int = DEFAULT_CAPACITY,
+    timers: HotPathTimers | None = None,
 ) -> Cluster:
     """A fault-free n-server cluster with default wiring (examples/tests).
 
@@ -520,5 +551,8 @@ def quick_cluster(
         auto_interpret=auto_interpret,
         storage_dir=storage_dir,
         storage=storage if storage is not None else StorageConfig(),
+        trace=trace,
+        trace_capacity=trace_capacity,
+        timers=timers,
     )
     return Cluster(protocol, n=n, config=config)

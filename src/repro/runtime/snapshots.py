@@ -47,8 +47,17 @@ class WireSnapshot:
             bytes=int(data["bytes"]),  # type: ignore[arg-type]
             delivered=int(data.get("delivered", 0)),  # type: ignore[arg-type]
             dropped=int(data.get("dropped", 0)),  # type: ignore[arg-type]
-            by_kind=dict(data.get("by_kind", {})),  # type: ignore[arg-type]
-            bytes_by_kind=dict(data.get("bytes_by_kind", {})),  # type: ignore[arg-type]
+            # Coerce the per-kind counts: a document that passed through
+            # a serializer with float/str numbers must round-trip to the
+            # same snapshot value it came from.
+            by_kind={
+                str(k): int(v)  # type: ignore[call-overload]
+                for k, v in dict(data.get("by_kind", {})).items()  # type: ignore[arg-type]
+            },
+            bytes_by_kind={
+                str(k): int(v)  # type: ignore[call-overload]
+                for k, v in dict(data.get("bytes_by_kind", {})).items()  # type: ignore[arg-type]
+            },
         )
 
 

@@ -11,6 +11,9 @@ Subcommands
 * ``diff NAME_A NAME_B`` — run two scenarios (or the same one under
   two seeds via ``--seed``/``--seed-b``) and print every result field
   that differs.
+* ``trace diff FILE_A FILE_B`` — compare two exported flight-recorder
+  traces (``run --trace-dir`` writes them) and report the first
+  divergence; exit 0 when identical, 1 when they diverge.
 """
 
 from __future__ import annotations
@@ -23,6 +26,12 @@ from pathlib import Path
 from typing import Mapping
 
 from repro.errors import ScenarioError
+from repro.obs.diverge import (
+    first_chain_divergence,
+    first_divergence,
+    first_event_divergence,
+)
+from repro.obs.export import read_jsonl
 from repro.scenario import registry
 from repro.scenario.result import ScenarioResult
 from repro.scenario.runner import run_scenario
@@ -65,6 +74,14 @@ def _summary_lines(result: ScenarioResult) -> list[str]:
         )
     if result.down_at_end:
         lines.append(f"down at end   : {', '.join(result.down_at_end)}")
+    if result.lifecycle is not None:
+        commit = result.lifecycle.seal_to_interpret
+        if commit.count:
+            lines.append(
+                f"lifecycle     : seal→interpret p50={commit.p50} "
+                f"p90={commit.p90} p99={commit.p99} max={commit.max} "
+                f"(t_virt, {commit.count} samples)"
+            )
     lines.append(f"wall clock    : {result.wall_seconds:.3f}s")
     return lines
 
@@ -100,9 +117,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     results = []
     for name in args.names:
         scenario = registry.get(name, smoke=args.smoke, seed=args.seed)
+        trace_dir = (
+            Path(args.trace_dir) / name if args.trace_dir is not None else None
+        )
         result = run_scenario(
             scenario,
             storage_root=_fresh_storage_root(args.storage_dir, name),
+            trace_dir=trace_dir,
         )
         results.append(result)
         if not args.json:
@@ -152,6 +173,25 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    left = read_jsonl(Path(args.file_a))
+    right = read_jsonl(Path(args.file_b))
+    if args.mode == "events":
+        divergence = first_event_divergence(left, right)
+    elif args.mode == "chains":
+        divergence = first_chain_divergence(left, right)
+    else:
+        divergence = first_divergence(left, right)
+    label_a = Path(args.file_a).name
+    label_b = Path(args.file_b).name
+    if divergence is None:
+        print(f"{label_a} and {label_b}: traces agree ({args.mode} mode)")
+        return 0
+    print(f"{label_a} vs {label_b}:")
+    print(divergence.describe())
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.scenario",
@@ -183,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
         "subdirectory under it and the artefacts are kept (default: a "
         "temp dir, removed after the run)",
     )
+    p_run.add_argument(
+        "--trace-dir",
+        default=None,
+        help="export per-server flight-recorder traces to "
+        "<trace-dir>/<scenario>/<server>.jsonl (forces tracing on)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_diff = sub.add_parser(
@@ -197,6 +243,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_diff.add_argument("--storage-dir", default=None)
     p_diff.set_defaults(func=cmd_diff)
+
+    p_trace = sub.add_parser(
+        "trace", help="operations on exported flight-recorder traces"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_diff = trace_sub.add_parser(
+        "diff",
+        help="find the first divergence between two trace JSONL files "
+        "(exit 0 identical, 1 diverged)",
+    )
+    p_trace_diff.add_argument("file_a")
+    p_trace_diff.add_argument("file_b")
+    p_trace_diff.add_argument(
+        "--mode",
+        choices=("auto", "events", "chains"),
+        default="auto",
+        help="'events' compares positional event identity (same-server "
+        "replays), 'chains' compares per-builder validated chains "
+        "(cross-server equivocation hunting), 'auto' tries chains "
+        "first and falls back to events",
+    )
+    p_trace_diff.set_defaults(func=cmd_trace_diff)
     return parser
 
 

@@ -44,7 +44,28 @@ PROBES: dict[str, ProbeFn] = {
     "rehydrated": lambda r: float(
         sum(s.interpreter.rehydrated for s in r.cluster.shims.values())
     ),
+    #: Arrivals condemned by the agreed-horizon validity rule; the
+    #: counter always existed in the snapshot but was unreachable from
+    #: scenario JSON until now.
+    "condemned-below-horizon": lambda r: float(
+        sum(
+            s.gossip.metrics.condemned_below_horizon
+            for s in r.cluster.shims.values()
+        )
+    ),
+    # Block-lifecycle commit latency (seal → interpret, virtual time),
+    # sampled from the flight recorder's lifecycle index.  0.0 when the
+    # topology does not enable tracing.
+    "commit-latency-p50": lambda r: _commit_latency(r, 0.50),
+    "commit-latency-p99": lambda r: _commit_latency(r, 0.99),
 }
+
+
+def _commit_latency(runner: "ScenarioRunner", fraction: float) -> float:
+    tracer = runner.cluster.tracer
+    if tracer is None:
+        return 0.0
+    return float(tracer.lifecycle.commit_latency(fraction))
 
 
 def resolve_probe(name: str) -> ProbeFn:

@@ -98,7 +98,9 @@ def _equivocator(smoke: bool) -> Scenario:
         protocol="brb",
         description="A byzantine seat forks its chain (Figure 3) and "
         "tells each network half a different value; correct servers "
-        "absorb both versions and still agree.",
+        "absorb both versions and still agree.  Tracing is on so "
+        "``trace diff`` across two correct servers pins the fork.",
+        topology=Topology(trace=True),
         faults=FaultSchedule(
             (
                 ByzantineFault(
@@ -262,6 +264,32 @@ def _cow_state_growth(smoke: bool) -> Scenario:
     )
 
 
+def _flight_recorder(smoke: bool) -> Scenario:
+    return Scenario(
+        name="flight-recorder",
+        protocol="brb",
+        description="Eight servers with the flight recorder on and "
+        "storage enabled: every seal/wire/validate/interpret/WAL/"
+        "checkpoint event lands in a per-server trace, and the result "
+        "carries seal→interpret latency percentiles.  Same seed ⇒ "
+        "byte-identical trace files (the observability demo).",
+        topology=Topology(
+            n=8,
+            trace=True,
+            storage=StorageSpec(checkpoint_interval=8, segment_max_bytes=8192),
+        ),
+        workload=OpenLoopWorkload(rate=1 if smoke else 2, rounds=3 if smoke else 6),
+        stop=And((AllDelivered(), DagsConverged())),
+        probes=_DEFAULT_PROBES
+        + (
+            "commit-latency-p50",
+            "commit-latency-p99",
+            "condemned-below-horizon",
+        ),
+        max_rounds=32,
+    )
+
+
 def _offline_interpretation(smoke: bool) -> Scenario:
     return Scenario(
         name="offline-interpretation",
@@ -288,6 +316,7 @@ REGISTRY: dict[str, ScenarioBuilder] = {
     "pruning": _pruning,
     "gc-horizon-soak": _gc_horizon_soak,
     "cow-state-growth": _cow_state_growth,
+    "flight-recorder": _flight_recorder,
     "offline-interpretation": _offline_interpretation,
 }
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.errors import ScenarioError
+from repro.obs.lifecycle import LifecycleStats
 from repro.runtime.snapshots import (
     InterpreterSnapshot,
     StorageSnapshot,
@@ -104,6 +105,9 @@ class ScenarioResult:
     restarts: int = 0
     down_at_end: tuple[str, ...] = ()
     probes: dict[str, tuple[float, ...]] = field(default_factory=dict)
+    #: Block-lifecycle latency percentiles (virtual time, hence fully
+    #: deterministic), present when the topology enabled tracing.
+    lifecycle: LifecycleStats | None = None
     #: Wall-clock seconds — the one field excluded from determinism
     #: comparisons (``to_json(include_wall_clock=False)``).
     wall_seconds: float = 0.0
@@ -153,6 +157,9 @@ class ScenarioResult:
             "probes": {
                 name: list(series) for name, series in sorted(self.probes.items())
             },
+            "lifecycle": (
+                None if self.lifecycle is None else self.lifecycle.as_dict()
+            ),
         }
         if include_wall_clock:
             data["wall_seconds"] = self.wall_seconds
@@ -206,6 +213,11 @@ class ScenarioResult:
                     str(name): tuple(float(v) for v in series)
                     for name, series in dict(data.get("probes", {})).items()  # type: ignore[arg-type]
                 },
+                lifecycle=(
+                    None
+                    if data.get("lifecycle") is None
+                    else LifecycleStats.from_dict(data["lifecycle"])  # type: ignore[arg-type]
+                ),
                 wall_seconds=float(data.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
             )
         except (KeyError, AssertionError, ValueError, TypeError) as exc:

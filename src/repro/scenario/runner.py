@@ -43,6 +43,11 @@ class ScenarioRunner:
         Directory for per-server durable state when the scenario needs
         storage (crash faults or an explicit storage spec).  ``None``
         uses a temporary directory that is removed after :meth:`run`.
+    trace_dir:
+        When given, tracing is forced on (regardless of
+        ``topology.trace``) and every server's flight-recorder events
+        are exported to ``<trace_dir>/<server>.jsonl`` at the end of
+        :meth:`run`.  Same scenario + seed ⇒ byte-identical files.
 
     After :meth:`run` the :attr:`cluster` stays accessible, so examples
     and tests can inspect DAGs, shims and recovery reports beyond what
@@ -55,8 +60,10 @@ class ScenarioRunner:
         self,
         scenario: Scenario,
         storage_root: str | Path | None = None,
+        trace_dir: str | Path | None = None,
     ) -> None:
         self.scenario = scenario
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self.entry = resolve_protocol(scenario.protocol)
         self.compiled = scenario.faults.compile(
             scenario.topology.servers(), scenario.topology.round_duration
@@ -125,6 +132,7 @@ class ScenarioRunner:
             storage=(
                 storage_spec.build() if storage_spec is not None else StorageConfig()
             ),
+            trace=topology.trace or self.trace_dir is not None,
         )
         return Cluster(
             self.entry.spec,
@@ -154,6 +162,10 @@ class ScenarioRunner:
             base = 1_000_000 + 2 * cue_round
             adversary.request(label, self.entry.make_request(base))  # type: ignore[attr-defined]
             adversary.fork_request(label, self.entry.make_request(base + 1))  # type: ignore[attr-defined]
+            if self.cluster.tracer is not None:
+                self.cluster.tracer.recorder(ServerId(server)).emit(
+                    "fault-injected", fault="equivocation-cue", round=cue_round
+                )
 
     # -- driving ---------------------------------------------------------------
 
@@ -189,6 +201,8 @@ class ScenarioRunner:
                     shim.interpret_now()
             self.driver.final_sweep(self.cluster, max(0, self.rounds_run - 1))
             self.result = self._collect(stopped_by, time.perf_counter() - start_wall)
+            if self.trace_dir is not None and self.cluster.tracer is not None:
+                self.cluster.tracer.export(self.trace_dir)
             return self.result
         finally:
             if self._owns_storage and self._storage_root is not None:
@@ -241,12 +255,21 @@ class ScenarioRunner:
                 name: tuple(series)
                 for name, series in self._probe_series.items()
             },
+            lifecycle=(
+                cluster.tracer.lifecycle.stats()
+                if cluster.tracer is not None
+                else None
+            ),
             wall_seconds=round(wall_seconds, 6),
         )
 
 
 def run_scenario(
-    scenario: Scenario, storage_root: str | Path | None = None
+    scenario: Scenario,
+    storage_root: str | Path | None = None,
+    trace_dir: str | Path | None = None,
 ) -> ScenarioResult:
     """Build a runner, run it, return the result (the one-liner API)."""
-    return ScenarioRunner(scenario, storage_root=storage_root).run()
+    return ScenarioRunner(
+        scenario, storage_root=storage_root, trace_dir=trace_dir
+    ).run()

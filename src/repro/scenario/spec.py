@@ -163,6 +163,11 @@ class Topology:
     #: cow-vs-oracle property tests (same convention as
     #: ``incremental=False``).
     cow: bool = True
+    #: Record per-server flight-recorder traces (``repro.obs``): typed,
+    #: virtual-time-stamped event streams plus block-lifecycle latency
+    #: percentiles in the result.  Off by default — the hot path then
+    #: pays one attribute check per instrumentation site.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -180,6 +185,7 @@ class Topology:
             "auto_interpret": self.auto_interpret,
             "storage": None if self.storage is None else self.storage.to_json_dict(),
             "cow": self.cow,
+            "trace": self.trace,
         }
 
     @staticmethod

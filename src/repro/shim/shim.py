@@ -32,6 +32,7 @@ from repro.interpret.instance import BlockState
 from repro.interpret.interpreter import IndicationEvent, Interpreter
 from repro.net.message import Envelope
 from repro.net.transport import Transport
+from repro.obs.trace import NULL_RECORDER
 from repro.protocols.base import ProtocolSpec
 from repro.requests import RequestBuffer
 from repro.storage.blockstore import ServerStorage
@@ -85,6 +86,15 @@ class Shim:
         Structurally-shared instance states (the default).  ``False``
         restores the ``copy.deepcopy`` ownership copy — the executable
         oracle convention, like ``Interpreter(..., incremental=False)``.
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceRecorder` — the flight
+        recorder for this server, threaded into gossip, interpreter,
+        horizon tracker and storage.  Defaults to the shared no-op
+        recorder (tracing off).
+    timers:
+        Optional :class:`~repro.obs.timers.HotPathTimers` — wall-clock
+        hot-path histograms, threaded alongside the tracer but never
+        visible in trace identity.
     """
 
     def __init__(
@@ -98,6 +108,8 @@ class Shim:
         auto_interpret: bool = True,
         storage: ServerStorage | None = None,
         cow: bool = True,
+        tracer: object | None = None,
+        timers: object | None = None,
     ) -> None:
         self.server = server
         self.protocol = protocol
@@ -105,6 +117,13 @@ class Shim:
         self.auto_interpret = auto_interpret
         self.on_indication = on_indication
         self.storage = storage
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
+        self.timers = timers
+        if storage is not None:
+            # Before any recovery below: replayed WAL decodes and
+            # flushes should land in the same histograms as live ones.
+            storage.tracer = self.tracer
+            storage.timers = timers
         self.rqsts = RequestBuffer()  # line 2
         self.dag = BlockDag()  # line 3
         #: Coordinated GC is active when storage is configured with
@@ -114,7 +133,9 @@ class Shim:
         #: claims (it is cheap and keeps the horizon view comparable
         #: across servers) but drives nothing.
         self.coordinated_gc = storage is not None and storage.config.horizon_gc
-        self.horizon = HorizonTracker(keyring.servers, dag=self.dag)
+        self.horizon = HorizonTracker(
+            keyring.servers, dag=self.dag, tracer=self.tracer
+        )
         self.gossip = Gossip(  # line 4
             server,
             keyring,
@@ -125,6 +146,8 @@ class Shim:
             on_insert=self._on_insert,
             on_batch_end=self._on_batch_end,
             horizon=self.horizon if self.coordinated_gc else None,
+            tracer=self.tracer,
+            timers=timers,
         )
         self.interpreter = Interpreter(  # line 5
             self.dag,
@@ -132,6 +155,8 @@ class Shim:
             keyring.servers,
             on_indication=self._on_event,
             cow=cow,
+            tracer=self.tracer,
+            timers=timers,
         )
         if self.coordinated_gc:
             self.interpreter.rehydrator = self._rehydrate_state
@@ -186,6 +211,13 @@ class Shim:
         if event.server != self.server:
             return
         self.indications.append((event.label, event.indication))
+        if self.tracer.enabled:
+            self.tracer.emit(  # type: ignore[attr-defined]
+                "indication",
+                block=event.block_ref,
+                label=str(event.label),
+                value=repr(event.indication),
+            )
         if self.on_indication is not None:
             self.on_indication(event.label, event.indication)
 
@@ -286,6 +318,7 @@ class Shim:
                 destruction_delay=self.storage.config.destruction_delay,
                 streaks=self._destruction_streaks,
                 pinned=self._pinned_recent(),
+                tracer=self.tracer if self.tracer.enabled else None,
             )
             self.storage.metrics.states_released += report.states_released
             self.storage.metrics.payloads_dropped += report.payloads_dropped
@@ -297,6 +330,12 @@ class Shim:
             previous=self._last_checkpoint,
         )
         self.storage.write_checkpoint(checkpoint)
+        if self.tracer.enabled:
+            self.tracer.emit(  # type: ignore[attr-defined]
+                "checkpoint",
+                seq=int(checkpoint.seq),
+                refs=len(checkpoint.refs),
+            )
         self._last_checkpoint = checkpoint
         self._recent_frontiers.append(frozenset(checkpoint.refs))
         self._interpreted_at_checkpoint = self.interpreter.blocks_interpreted

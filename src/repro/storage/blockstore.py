@@ -20,10 +20,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 
 from repro.dag import codec
 from repro.dag.block import Block
 from repro.errors import StorageError
+from repro.obs.trace import NULL_RECORDER
 from repro.storage.checkpoint import Checkpoint, CheckpointManager
 from repro.storage.wal import WriteAheadLog
 from repro.types import BlockRef
@@ -109,6 +111,11 @@ class ServerStorage:
             retain=self.config.checkpoints_retained,
         )
         self.metrics = StorageMetrics()
+        #: Flight recorder / wall-clock timers (``repro.obs``) — set by
+        #: the shim when tracing is on; the no-op defaults keep the
+        #: write path at one attribute check each.
+        self.tracer = NULL_RECORDER
+        self.timers = None
         #: Blocks appended since the last WAL flush, in insertion
         #: order.  One WAL record ("chain frame") is written per
         #: maximal same-builder run at flush time — the shim flushes at
@@ -162,6 +169,9 @@ class ServerStorage:
         under the GC horizon."""
         if not self._pending:
             return
+        timers = self.timers
+        if timers is not None:
+            _started = perf_counter()
         pending, self._pending = self._pending, []
         start = 0
         for i in range(1, len(pending) + 1):
@@ -175,7 +185,17 @@ class ServerStorage:
                     refs=[str(b.ref) for b in run],
                     chain_key=str(run[0].n),
                 )
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "wal-append",
+                        block=run[-1].ref,
+                        bytes=len(payload),
+                        blocks=len(run),
+                        chain=str(run[0].n),
+                    )
                 start = i
+        if timers is not None:
+            timers.observe("wal-flush", perf_counter() - _started)
 
     def write_checkpoint(self, checkpoint: Checkpoint) -> None:
         """Persist a checkpoint, then GC WAL segments it fully covers.
@@ -189,7 +209,13 @@ class ServerStorage:
         # shim flushes before interpreting, so this is normally a
         # no-op; it makes direct callers safe too.
         self.flush_wal()
-        self.checkpoints.write(checkpoint)
+        timers = self.timers
+        if timers is not None:
+            _started = perf_counter()
+            self.checkpoints.write(checkpoint)
+            timers.observe("checkpoint-write", perf_counter() - _started)
+        else:
+            self.checkpoints.write(checkpoint)
         if self.config.prune:
             try:
                 self.checkpoints.load(checkpoint.seq)
@@ -224,8 +250,14 @@ class ServerStorage:
         """
         blocks: list[Block] = []
         segment_refs: dict[int, list[str]] = {}
+        timers = self.timers
         for index, payload in self.wal.replay():
-            value = codec.decode(payload)
+            if timers is not None:
+                _started = perf_counter()
+                value = codec.decode(payload)
+                timers.observe("codec-decode", perf_counter() - _started)
+            else:
+                value = codec.decode(payload)
             # A record is either one block (legacy framing) or a chain
             # frame: a tuple of consecutive same-builder blocks.
             frame = (value,) if isinstance(value, Block) else value

@@ -128,6 +128,7 @@ def prune(
     destruction_delay: int = 0,
     streaks: "dict[BlockRef, int] | None" = None,
     pinned: frozenset[BlockRef] = frozenset(),
+    tracer: object | None = None,
 ) -> PruneReport:
     """Release interpreter states and drop block payloads below the
     stable frontier.  WAL segment dropping is the storage layer's job
@@ -169,6 +170,10 @@ def prune(
     window from memory release — the anti-thrash damper; since pinned
     blocks are never released, they can never become destruction
     candidates either.
+
+    ``tracer`` (a :class:`~repro.obs.trace.TraceRecorder`, enabled)
+    gets one aggregate ``gc-release``/``gc-destroy`` event per pass
+    that did any work.
     """
     report = PruneReport()
     for ref in prunable_refs(
@@ -247,6 +252,15 @@ def prune(
                     streaks.pop(ref, None)
                 progress = True
             candidates = remaining
+    if tracer is not None and tracer.enabled:  # type: ignore[attr-defined]
+        if report.states_released:
+            tracer.emit("gc-release", count=report.states_released)  # type: ignore[attr-defined]
+        if report.payloads_dropped:
+            tracer.emit(  # type: ignore[attr-defined]
+                "gc-destroy",
+                count=report.payloads_dropped,
+                bytes=report.payload_bytes_dropped,
+            )
     return report
 
 

@@ -34,6 +34,9 @@ class TestCostSummary:
             "blocks",
             "indications",
             "t_virt",
+            "below horizon",
+            "rehydrated",
+            "condemned",
         }
 
     def test_collect_cluster_costs(self):
