@@ -309,13 +309,14 @@ class BlockDag:
         # so duplicates carry no extra meaning).
         preds = set(block.preds)
         store = self._store
-        for p in preds:
-            if p not in store:
-                missing = [m for m in preds if m not in store]
-                raise MissingPredecessorError(
-                    f"predecessors not in DAG: {[m[:8] for m in missing]} "
-                    f"(Definition 3.4 (ii))"
-                )
+        if not preds <= store.keys():
+            # Name the gaps in the block's own (deterministic) listing
+            # order, not set order — replicas report identical errors.
+            missing = [m for m in dict.fromkeys(block.preds) if m not in store]
+            raise MissingPredecessorError(
+                f"predecessors not in DAG: {[m[:8] for m in missing]} "
+                f"(Definition 3.4 (ii))"
+            )
         # Trusted graph insert: absence and predecessor presence were
         # just checked against the store (store and graph stay in sync).
         self.graph.insert_new(block.ref, preds)

@@ -231,12 +231,12 @@ def _decode_at(data: bytes, offset: int) -> tuple[Any, int]:
     if tag == _TAG_SET:
         raw, offset = _read(data, offset, 8)
         count = int.from_bytes(raw, "big")
-        items = set()
+        members = set()
         for _ in range(count):
             raw, offset = _read(data, offset, 8)
             item_bytes, offset = _read(data, offset, int.from_bytes(raw, "big"))
-            items.add(decode(item_bytes))
-        return frozenset(items), offset
+            members.add(decode(item_bytes))
+        return frozenset(members), offset
     if tag == _TAG_DATACLASS:
         raw, offset = _read(data, offset, 4)
         name_bytes, offset = _read(data, offset, int.from_bytes(raw, "big"))

@@ -105,15 +105,18 @@ class Digraph(Generic[V]):
         Defensive: ``sources`` is copied (hot-path callers that build a
         throwaway set use :meth:`insert_new`, which takes ownership).
         """
-        sources = set(sources)
-        for source in sources:
+        # Keep the caller's ordering for validation and error text —
+        # set order would make two replicas name different culprits.
+        ordered = list(dict.fromkeys(sources))
+        sources = set(ordered)
+        for source in ordered:
             if source not in self._succ:
                 raise DagError(
                     f"edge source {source!r} not in graph; Definition 2.1 "
                     f"requires edges from existing vertices only"
                 )
         if vertex in self._succ:
-            new_edges = [s for s in sources if vertex not in self._succ[s]]
+            new_edges = [s for s in ordered if vertex not in self._succ[s]]
             if new_edges:
                 raise CycleError(
                     f"re-inserting existing vertex {vertex!r} with new edges "

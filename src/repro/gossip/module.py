@@ -40,10 +40,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Callable, Sequence  # noqa: F401 - Sequence used in signatures
 
 from repro.crypto.keys import KeyRing
+
+# The sanctioned wall-clock conduit (lint: no-wall-clock): sig-verify
+# timings feed HotPathTimers only, never trace identity.
+from repro.obs.timers import perf_counter
 from repro.obs.trace import NULL_RECORDER
 from repro.dag.block import Block, BlockBuilder
 from repro.dag.blockdag import BlockDag, Validator, Validity

@@ -64,10 +64,13 @@ import copy
 import heapq
 import weakref
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Callable, Iterable, Sequence
 
 from repro.dag.block import Block, parent_of
+
+# The sanctioned wall-clock conduit (lint: no-wall-clock): interpret-block
+# timings feed HotPathTimers only, never trace identity.
+from repro.obs.timers import perf_counter
 from repro.obs.trace import NULL_RECORDER
 from repro.dag.blockdag import BlockDag
 from repro.dag.traversal import eligible_frontier

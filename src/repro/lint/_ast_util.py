@@ -1,0 +1,58 @@
+"""Small shared AST helpers for the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def module_aliases(tree: ast.Module, targets: frozenset[str]) -> dict[str, str]:
+    """Local names bound to any of the ``targets`` modules.
+
+    ``import time`` -> ``{"time": "time"}``; ``import time as t`` ->
+    ``{"t": "time"}``; ``import os.path`` binds ``os``.  Covers every
+    scope — a function-local ``import time`` is still a clock import.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Import):
+            continue
+        for alias in node.names:
+            top = alias.name.split(".")[0]
+            if alias.name in targets:
+                aliases[alias.asname or alias.name.split(".")[-1]] = alias.name
+            elif top in targets and alias.asname is None:
+                aliases[top] = top
+    return aliases
+
+
+def attribute_calls(tree: ast.Module) -> Iterator[tuple[ast.Call, str, str]]:
+    """Every ``<name>.<attr>(...)`` call as ``(node, name, attr)``."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+        ):
+            yield node, node.func.value.id, node.func.attr
+
+
+def self_attr_root(node: ast.AST) -> str | None:
+    """The attribute name ``x`` when ``node`` is an access chain rooted
+    at ``self.x`` through any mix of ``.attr`` / ``[key]`` hops
+    (``self.x``, ``self.x[k]``, ``self.x[k].y``...).
+
+    Returns ``None`` when the chain passes through a call — e.g.
+    ``self._writable("x").add`` roots at a *call result*, which is
+    exactly the write-barrier idiom the cow rule must not flag.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        parent = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(parent, ast.Name)
+            and parent.id == "self"
+        ):
+            return node.attr
+        node = parent
+    return None

@@ -1,0 +1,184 @@
+"""``python -m repro.lint`` — the command-line front end.
+
+Formats:
+
+* ``text`` (default) — ``path:line:col: rule message`` plus a summary;
+* ``json`` — a machine-readable document (findings + counts);
+* ``github`` — ``::error`` workflow commands, so a CI lint step
+  annotates the offending lines inline in the pull request diff.
+
+Exit status: 0 when the tree is clean (after suppressions and the
+baseline), 1 when findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import Finding, LintEngine
+from repro.lint.registry import all_rules, get_rule, rule_names
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST invariant linter for the deterministic core.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/repro, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (github emits ::error workflow commands)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file (default: discover lint-baseline.json upward)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _default_paths() -> list[str]:
+    return ["src/repro"] if Path("src/repro").is_dir() else ["."]
+
+
+def _render_text(
+    findings: Sequence[Finding],
+    *,
+    suppressed: int,
+    baselined: int,
+    stale: Sequence[tuple[str, str, int]],
+    files: int,
+) -> str:
+    lines = [finding.render() for finding in findings]
+    for rule, path, line in stale:
+        lines.append(
+            f"note: stale baseline entry {rule} at {path}:{line} "
+            "(fixed? remove it from lint-baseline.json)"
+        )
+    lines.append(
+        f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+        f"({suppressed} suppressed, {baselined} baselined) "
+        f"across {files} file{'s' if files != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+def _render_github(findings: Sequence[Finding]) -> str:
+    lines = []
+    for f in findings:
+        # Workflow-command escaping for the message property.
+        message = (
+            f.message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        )
+        lines.append(
+            f"::error file={f.path},line={f.line},col={f.col},"
+            f"title=repro.lint({f.rule})::{message}"
+        )
+    lines.append(f"{len(findings)} findings")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.list_rules:
+        width = max((len(r.name) for r in all_rules()), default=0)
+        for rule in all_rules():
+            print(f"{rule.name:<{width}}  {rule.summary}")
+        return 0
+
+    rules = None
+    if args.select:
+        try:
+            rules = [get_rule(name.strip()) for name in args.select.split(",")]
+        except KeyError as exc:
+            print(
+                f"unknown rule {exc.args[0]!r}; known: {', '.join(rule_names())}",
+                file=sys.stderr,
+            )
+            return 2
+
+    paths = args.paths or _default_paths()
+    report = LintEngine(rules).run(paths)
+
+    if args.write_baseline:
+        Baseline.write(Path(args.write_baseline), report.findings)
+        print(
+            f"wrote {len(report.findings)} finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline = Baseline()
+    elif args.baseline:
+        baseline = Baseline.load(Path(args.baseline))
+    else:
+        baseline = Baseline.discover(Path(paths[0]))
+    findings, stale = baseline.split(report.findings)
+    baselined = len(report.findings) - len(findings)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.as_dict() for f in findings],
+                    "counts": {
+                        "findings": len(findings),
+                        "suppressed": report.suppressed,
+                        "baselined": baselined,
+                        "stale_baseline": len(stale),
+                        "files": report.files,
+                    },
+                },
+                indent=2,
+            )
+        )
+    elif args.format == "github":
+        print(_render_github(findings))
+    else:
+        print(
+            _render_text(
+                findings,
+                suppressed=report.suppressed,
+                baselined=baselined,
+                stale=stale,
+                files=report.files,
+            )
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,273 @@
+"""The lint engine: file walking, parsing, suppressions, rule dispatch.
+
+The engine is deliberately dumb: it parses each file once, hands the
+tree to every registered rule, and applies the per-line suppression
+protocol to whatever comes back.  All invariant knowledge lives in the
+rules; all reporting knowledge lives in the CLI.
+
+Suppression protocol (one line, next to the finding)::
+
+    flagged_code()  # lint: allow(rule-name) — reason the invariant holds
+
+* several rules: ``allow(rule-a, rule-b)``;
+* the reason is mandatory — an allow without one raises ``bare-allow``;
+* an allow that suppresses nothing raises ``unused-allow`` (stale
+  annotations rot into lies; they must stay load-bearing);
+* a file that does not parse raises ``parse-error`` (the linter proves
+  invariants over the AST, so an unparseable file proves nothing).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.registry import Rule, all_rules
+
+#: ``# lint: allow(RULE-A, RULE-B) — reason``, lowercased in real use
+#: (reason optional at the regex level; its absence becomes a
+#: ``bare-allow`` finding).
+_ALLOW_RE = re.compile(
+    r"#\s*lint:\s*allow\(\s*(?P<rules>[a-z0-9_,\s-]+?)\s*\)"
+    r"(?:\s*[—–:-]+\s*(?P<reason>\S.*))?\s*$"
+)
+
+#: Engine-level findings (not in the registry — always on).
+META_RULES = ("bare-allow", "unused-allow", "parse-error")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class _Suppression:
+    """One ``# lint: allow(...)`` comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str | None
+    used: bool = False
+
+
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    def __init__(
+        self,
+        *,
+        display_path: str,
+        module: str,
+        tree: ast.Module,
+        lines: Sequence[str],
+    ) -> None:
+        self.display_path = display_path
+        self.module = module
+        self.tree = tree
+        self.lines = lines
+
+    @property
+    def component(self) -> str | None:
+        """The top-level ``repro`` component (``"storage"`` for
+        ``repro.storage.wal``), or ``None`` outside the package."""
+        parts = self.module.split(".")
+        if parts[0] != "repro" or len(parts) < 2:
+            return None
+        return parts[1]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a file path.
+
+    Anchored at the last ``repro`` path component so it works from any
+    checkout root (``src/repro/dag/codec.py`` -> ``repro.dag.codec``).
+    Files outside a ``repro`` tree get their bare stem, which keeps
+    every path-scoped rule (cow-barrier, layering, iteration) inert on
+    them while the global rules (clock, randomness, pickle) still run.
+    """
+    parts = list(path.parts)
+    name = parts[-1]
+    if name.endswith(".py"):
+        parts[-1] = name[:-3]
+    if "repro" in parts[:-1] or parts[-1] == "repro":
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+    else:
+        parts = parts[-1:]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "__unknown__"
+
+
+def _parse_suppressions(source: str) -> list[_Suppression]:
+    """Extract suppressions from *actual comment tokens*.
+
+    Tokenizing (rather than regex-scanning raw lines) means a
+    suppression example quoted inside a docstring or string literal is
+    inert — only executable-source comments carry authority.
+    """
+    suppressions: list[_Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    for lineno, text in comments:
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        suppressions.append(
+            _Suppression(line=lineno, rules=rules, reason=match.group("reason"))
+        )
+    return suppressions
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run (before baseline filtering)."""
+
+    findings: list[Finding]
+    suppressed: int = 0
+    files: int = 0
+
+    def extend(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed += other.suppressed
+        self.files += other.files
+
+
+class LintEngine:
+    """Run a set of rules over sources, files or directory trees."""
+
+    def __init__(self, rules: Iterable[Rule] | None = None) -> None:
+        self.rules: list[Rule] = list(all_rules() if rules is None else rules)
+
+    # -- single sources ------------------------------------------------------
+
+    def check_source(
+        self,
+        source: str,
+        *,
+        module: str,
+        path: str = "<string>",
+    ) -> LintReport:
+        """Lint one in-memory source (the unit-test entry point)."""
+        lines = source.splitlines()
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            finding = Finding(
+                rule="parse-error",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+            return LintReport(findings=[finding], files=1)
+        ctx = FileContext(display_path=path, module=module, tree=tree, lines=lines)
+        suppressions = _parse_suppressions(source)
+        by_line: dict[int, list[_Suppression]] = {}
+        for suppression in suppressions:
+            by_line.setdefault(suppression.line, []).append(suppression)
+
+        kept: list[Finding] = []
+        suppressed = 0
+        for rule in self.rules:
+            for finding in rule.check(ctx):
+                hit = False
+                for suppression in by_line.get(finding.line, ()):
+                    if finding.rule in suppression.rules:
+                        suppression.used = True
+                        hit = True
+                if hit:
+                    suppressed += 1
+                else:
+                    kept.append(finding)
+
+        for suppression in suppressions:
+            if suppression.reason is None:
+                kept.append(
+                    Finding(
+                        rule="bare-allow",
+                        path=path,
+                        line=suppression.line,
+                        col=1,
+                        message=(
+                            "lint suppression without a reason; write "
+                            "'# lint: allow(rule) — why the invariant holds'"
+                        ),
+                    )
+                )
+            if not suppression.used:
+                kept.append(
+                    Finding(
+                        rule="unused-allow",
+                        path=path,
+                        line=suppression.line,
+                        col=1,
+                        message=(
+                            "suppression suppresses nothing "
+                            f"(rules: {', '.join(sorted(suppression.rules))}); "
+                            "delete the stale annotation"
+                        ),
+                    )
+                )
+        kept.sort()
+        return LintReport(findings=kept, suppressed=suppressed, files=1)
+
+    def check_file(self, path: Path, *, display_path: str | None = None) -> LintReport:
+        source = path.read_text(encoding="utf-8")
+        return self.check_source(
+            source,
+            module=module_name_for(path),
+            path=display_path if display_path is not None else path.as_posix(),
+        )
+
+    # -- trees ---------------------------------------------------------------
+
+    def run(self, paths: Sequence[Path | str]) -> LintReport:
+        """Lint every ``*.py`` under each path (files or directories)."""
+        report = LintReport(findings=[])
+        for entry in paths:
+            root = Path(entry)
+            if root.is_dir():
+                targets = sorted(
+                    p for p in root.rglob("*.py") if "__pycache__" not in p.parts
+                )
+            else:
+                targets = [root]
+            for target in targets:
+                report.extend(self.check_file(target))
+        report.findings.sort()
+        return report

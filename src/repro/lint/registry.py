@@ -1,0 +1,82 @@
+"""The rule registry: one place that knows every shipped invariant.
+
+A rule is a named, documented AST check.  Rules self-register at
+definition time via :func:`register`, the same pattern the codec uses
+for dataclasses — importing a ``rules_*`` module is what ships its
+rules.  The registry is what the CLI's ``--list-rules`` and
+``--select`` read, and what the engine iterates per file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import FileContext, Finding
+
+
+class Rule:
+    """One invariant check over a parsed file.
+
+    Subclasses set :attr:`name` (the kebab-case id used in findings,
+    suppressions and the baseline) and :attr:`summary` (one line for
+    ``--list-rules``), and implement :meth:`check`.
+    """
+
+    #: Kebab-case rule identifier.
+    name: str = ""
+    #: One-line description shown by ``--list-rules``.
+    summary: str = ""
+
+    def check(self, ctx: "FileContext") -> Iterable["Finding"]:
+        """Yield findings for ``ctx``; the engine handles suppression."""
+        raise NotImplementedError
+
+    # -- helpers shared by every rule -----------------------------------------
+
+    def finding(self, ctx: "FileContext", node: ast.AST, message: str) -> "Finding":
+        """Build a finding anchored at ``node``."""
+        from repro.lint.engine import Finding
+
+        return Finding(
+            rule=self.name,
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+#: name -> rule instance, in registration order.
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule.
+
+    Registration is idempotent per name so re-imports (e.g. under
+    pytest's module reloading) do not duplicate rules — but two
+    *different* classes claiming one name is a programming error.
+    """
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule class {cls.__name__} has no name")
+    existing = _REGISTRY.get(rule.name)
+    if existing is not None and type(existing) is not cls:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return cls
+
+
+def all_rules() -> Iterator[Rule]:
+    """Every registered rule, in registration order."""
+    return iter(_REGISTRY.values())
+
+
+def rule_names() -> list[str]:
+    return list(_REGISTRY)
+
+
+def get_rule(name: str) -> Rule:
+    return _REGISTRY[name]

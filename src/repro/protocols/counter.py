@@ -38,7 +38,20 @@ class Total(Indication):
 
 
 class CounterProtocol(ProcessInstance):
-    """Sum all received ``Add`` amounts; indicate the total each time."""
+    """Sum all received ``Add`` amounts; indicate the total each time.
+
+    **COW audit note.**  This protocol holds *scalar state only*
+    (``total``, ``request_count``: ints), so it needs no
+    ``_writable``/``_writable_entry`` barrier anywhere: rebinding a
+    scalar (``self.total += x`` rebinds — int ``+=`` allocates a new
+    object) is automatically private to the writing fork, per the
+    protocol-author rules in :mod:`repro.protocols.base`.  The
+    ``cow-barrier`` lint rule encodes the same convention (bare-
+    attribute augmented assignment is a scalar rebind by contract),
+    and the ``cow=True`` vs ``cow=False`` trace-equality test in
+    ``tests/unit/test_cow.py`` proves the exemption holds at runtime.
+    Adding any *container* attribute here obligates a barrier.
+    """
 
     def __init__(self, ctx: Context) -> None:
         super().__init__(ctx)

@@ -73,7 +73,20 @@ class PkValue(Payload):
 
 
 class PhaseKing(ProcessInstance):
-    """One process of phase-king consensus (``n > 4f``)."""
+    """One process of phase-king consensus (``n > 4f``).
+
+    **COW audit note.**  The only mutable container is ``_received``
+    (votes per ``(phase, round)``), and its single mutation site in
+    :meth:`on_message` goes through ``_writable_entry`` so a fork
+    privatizes just the touched round's slot.  Everything else —
+    ``value``, ``phase``, ``round``, ``started``, ``decided``,
+    ``_majority``, ``_multiplicity`` — is scalar state updated by
+    rebinding, which is fork-private without a barrier (see
+    :mod:`repro.protocols.base`).  ``_end_round_one``/``_end_round_two``
+    only *read* ``_received`` (``dict.get``), which never needs a
+    barrier.  The ``cow-barrier`` lint rule checks this discipline at
+    parse time.
+    """
 
     def __init__(self, ctx: Context) -> None:
         super().__init__(ctx)

@@ -20,11 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from time import perf_counter
 
 from repro.dag import codec
 from repro.dag.block import Block
 from repro.errors import StorageError
+# The sanctioned wall-clock conduit (lint: no-wall-clock): timings taken
+# here feed HotPathTimers only, never trace identity.
+from repro.obs.timers import perf_counter
 from repro.obs.trace import NULL_RECORDER
 from repro.storage.checkpoint import Checkpoint, CheckpointManager
 from repro.storage.wal import WriteAheadLog

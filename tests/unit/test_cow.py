@@ -158,6 +158,63 @@ class TestInterpreterCowOracle:
             ), f"annotation diverged at {ref[:8]}"
         assert fast.events == oracle.events
 
+    def test_counter_cow_equals_deepcopy_oracle(self):
+        # The COW-audit exemption for counter (ISSUE 7): scalar-only
+        # state needs no write barrier because rebinds are fork-private.
+        # Prove it end to end — cow and the deepcopy oracle must agree
+        # byte-for-byte on annotations and on the indication trace,
+        # including across an equivocation fork.
+        builder = ManualDagBuilder(4)
+        builder.round_all(rs_for={builder.servers[0]: [(L, Inc(3))]})
+        builder.round_all(rs_for={builder.servers[1]: [(L, Inc(5))]})
+        builder.fork(builder.servers[3], rs=[(L, Inc(11))])
+        builder.round_all()
+        fast = Interpreter(BlockDag(), counter_protocol, builder.servers)
+        oracle = Interpreter(
+            BlockDag(), counter_protocol, builder.servers, cow=False
+        )
+        for interp in (fast, oracle):
+            for block in builder.dag.blocks():
+                interp.dag.insert(block)
+            interp.run()
+        assert fast.interpreted == oracle.interpreted
+        for ref in sorted(fast.interpreted):
+            assert annotation_fingerprint(fast, ref) == annotation_fingerprint(
+                oracle, ref
+            ), f"counter annotation diverged at {ref[:8]}"
+        assert fast.events == oracle.events
+
+    def test_phaseking_cow_equals_deepcopy_oracle(self):
+        # Phase king mixes one barriered container (_received) with
+        # scalar rebinds; the audited discipline must hold trace-equal
+        # to the oracle through a full propose/advance schedule.
+        from repro.protocols.phaseking import PkAdvance, PkPropose, phase_king_protocol
+
+        builder = ManualDagBuilder(5)
+        proposals = {
+            server: [(L, PkPropose(index % 2))]
+            for index, server in enumerate(builder.servers)
+        }
+        builder.round_all(rs_for=proposals)
+        for _ in range(4):
+            builder.round_all(
+                rs_for={s: [(L, PkAdvance())] for s in builder.servers}
+            )
+        fast = Interpreter(BlockDag(), phase_king_protocol, builder.servers)
+        oracle = Interpreter(
+            BlockDag(), phase_king_protocol, builder.servers, cow=False
+        )
+        for interp in (fast, oracle):
+            for block in builder.dag.blocks():
+                interp.dag.insert(block)
+            interp.run()
+        assert fast.interpreted == oracle.interpreted
+        for ref in sorted(fast.interpreted):
+            assert annotation_fingerprint(fast, ref) == annotation_fingerprint(
+                oracle, ref
+            ), f"phase-king annotation diverged at {ref[:8]}"
+        assert fast.events == oracle.events
+
     def test_equivocation_fork_splits_state_under_cow(self):
         builder = ManualDagBuilder(4)
         s1 = builder.servers[0]

@@ -1,0 +1,584 @@
+"""``repro.lint`` — every rule proven on a violating/clean fixture pair.
+
+Each rule gets at least one snippet it must fire on and the idiomatic
+fix it must stay silent on; the engine's suppression protocol,
+baseline, CLI formats, and the meta-test that the shipped tree lints
+clean (tier-1) are covered at the bottom.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from textwrap import dedent
+
+from repro.lint import Baseline, LintEngine
+from repro.lint.engine import Finding, module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint(
+    source: str,
+    *,
+    module: str = "repro.fake.module",
+    path: str = "src/repro/fake/module.py",
+):
+    return LintEngine().check_source(dedent(source), module=module, path=path)
+
+
+def rules_of(report) -> list[str]:
+    return [finding.rule for finding in report.findings]
+
+
+# ---------------------------------------------------------------- no-wall-clock
+
+
+class TestNoWallClock:
+    def test_fires_on_time_time(self):
+        report = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert rules_of(report).count("no-wall-clock") == 2  # import + call
+        assert any(f.line == 5 for f in report.findings)  # the read itself
+
+    def test_fires_on_from_time_import(self):
+        report = lint("from time import perf_counter\n")
+        assert rules_of(report) == ["no-wall-clock"]
+
+    def test_fires_on_datetime(self):
+        report = lint("from datetime import datetime\n")
+        assert rules_of(report) == ["no-wall-clock"]
+
+    def test_silent_on_the_sanctioned_conduit(self):
+        report = lint(
+            """
+            from repro.obs.timers import perf_counter
+
+            def timed():
+                return perf_counter()
+            """,
+            module="repro.storage.fake",
+        )
+        assert rules_of(report) == []
+
+    def test_allowed_inside_timers_module(self):
+        report = lint(
+            "from time import perf_counter\n", module="repro.obs.timers"
+        )
+        assert rules_of(report) == []
+
+    def test_allowed_inside_scenario_runner(self):
+        report = lint("import time\n", module="repro.scenario.runner")
+        assert rules_of(report) == []
+
+
+# ---------------------------------------------------- seeded-randomness-only
+
+
+class TestSeededRandomnessOnly:
+    def test_fires_on_module_level_random(self):
+        report = lint(
+            """
+            import random
+
+            def coin():
+                return random.random()
+            """
+        )
+        assert "seeded-randomness-only" in rules_of(report)
+
+    def test_fires_on_unseeded_random(self):
+        report = lint("import random\nrng = random.Random()\n")
+        assert "seeded-randomness-only" in rules_of(report)
+
+    def test_fires_on_bare_function_import(self):
+        report = lint("from random import choice\n")
+        assert "seeded-randomness-only" in rules_of(report)
+
+    def test_fires_on_os_urandom(self):
+        report = lint("import os\nnonce = os.urandom(8)\n")
+        assert "seeded-randomness-only" in rules_of(report)
+
+    def test_fires_on_secrets(self):
+        report = lint("import secrets\n")
+        assert "seeded-randomness-only" in rules_of(report)
+
+    def test_silent_on_seeded_rng(self):
+        report = lint(
+            """
+            import random
+
+            def build(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """
+        )
+        assert rules_of(report) == []
+
+    def test_silent_on_random_annotation(self):
+        report = lint(
+            """
+            import random
+
+            def sample(rng: random.Random) -> float:
+                return rng.random()
+            """
+        )
+        assert rules_of(report) == []
+
+
+# ------------------------------------------------------------------ cow-barrier
+
+
+class TestCowBarrier:
+    VIOLATING = """
+        from repro.protocols.base import ProcessInstance
+
+        class Fake(ProcessInstance):
+            def __init__(self, ctx):
+                super().__init__(ctx)
+                self._votes = {}
+                self._senders = set()
+
+            def on_request(self, request):
+                self._senders.add(request.sender)
+
+            def on_message(self, message):
+                self._votes[message.sender] = message.payload
+                del self._votes[None]
+                self._votes[message.sender].append(1)
+        """
+
+    def test_fires_on_direct_mutations(self):
+        report = lint(self.VIOLATING, module="repro.protocols.fake")
+        cow = [f for f in report.findings if f.rule == "cow-barrier"]
+        # .add, subscript store, subscript delete, nested .append — and
+        # nothing from __init__ (pre-fork construction is exempt).
+        assert len(cow) == 4
+        assert all(f.line >= 10 for f in cow)
+
+    def test_silent_on_barrier_idiom(self):
+        report = lint(
+            """
+            from repro.protocols.base import ProcessInstance
+
+            class Fake(ProcessInstance):
+                def __init__(self, ctx):
+                    super().__init__(ctx)
+                    self.total = 0
+                    self._votes = {}
+
+                def on_request(self, request):
+                    self.total += 1  # scalar rebind: fork-private
+
+                def on_message(self, message):
+                    self._writable("_votes")[message.sender] = 1
+                    slot = self._writable_entry("_votes", message.sender, set)
+                    slot.add(message.payload)
+            """,
+            module="repro.protocols.fake",
+        )
+        assert rules_of(report) == []
+
+    def test_scoped_to_protocols_package(self):
+        report = lint(self.VIOLATING, module="repro.interpret.fake")
+        assert rules_of(report) == []
+
+    def test_transitive_subclass_is_checked(self):
+        report = lint(
+            """
+            from repro.protocols.base import ProcessInstance
+
+            class Base(ProcessInstance):
+                pass
+
+            class Leaf(Base):
+                def on_message(self, message):
+                    self._log.append(message)
+            """,
+            module="repro.protocols.fake",
+        )
+        assert rules_of(report) == ["cow-barrier"]
+
+    def test_framework_bookkeeping_exempt(self):
+        report = lint(
+            """
+            from repro.protocols.base import ProcessInstance
+
+            class Fake(ProcessInstance):
+                def on_message(self, message):
+                    self._cells["x"] = 1
+            """,
+            module="repro.protocols.fake",
+        )
+        assert rules_of(report) == []
+
+
+# -------------------------------------------------------------------- no-pickle
+
+
+class TestNoPickle:
+    def test_fires_on_import_pickle(self):
+        report = lint("import pickle\n")
+        assert rules_of(report) == ["no-pickle"]
+
+    def test_fires_on_function_scoped_dill(self):
+        report = lint(
+            """
+            def save(obj):
+                import dill
+                return dill.dumps(obj)
+            """
+        )
+        assert "no-pickle" in rules_of(report)
+
+    def test_silent_on_the_canonical_codec(self):
+        report = lint(
+            "from repro.dag import codec\nblob = codec.encode(1)\n",
+            module="repro.protocols.good",
+        )
+        assert rules_of(report) == []
+
+
+# ------------------------------------------------------- deterministic-iteration
+
+
+class TestDeterministicIteration:
+    def test_fires_on_set_for_loop(self):
+        report = lint(
+            """
+            def export(refs):
+                pending = set(refs)
+                out = []
+                for ref in pending:
+                    out.append(ref)
+                return out
+            """,
+            module="repro.dag.fake",
+        )
+        assert rules_of(report) == ["deterministic-iteration"]
+
+    def test_fires_on_set_literal_comprehension(self):
+        report = lint(
+            "rows = [v for v in {3, 1, 2}]\n", module="repro.obs.export"
+        )
+        assert rules_of(report) == ["deterministic-iteration"]
+
+    def test_fires_on_tuple_freezing_a_set(self):
+        report = lint(
+            "frozen = tuple(set(x for x in range(3)))\n",
+            module="repro.storage.state_codec",
+        )
+        assert rules_of(report) == ["deterministic-iteration"]
+
+    def test_silent_on_sorted(self):
+        report = lint(
+            """
+            def export(refs):
+                pending = set(refs)
+                return [ref for ref in sorted(pending)]
+            """,
+            module="repro.dag.fake",
+        )
+        assert rules_of(report) == []
+
+    def test_silent_on_order_insensitive_reduction(self):
+        report = lint(
+            """
+            def count(refs):
+                pending = set(refs)
+                return sum(1 for ref in pending)
+            """,
+            module="repro.dag.fake",
+        )
+        assert rules_of(report) == []
+
+    def test_silent_on_set_producing_comprehension(self):
+        report = lint(
+            """
+            def mirror(refs):
+                pending = set(refs)
+                return {ref for ref in pending}
+            """,
+            module="repro.dag.fake",
+        )
+        assert rules_of(report) == []
+
+    def test_scoped_to_canonical_modules(self):
+        report = lint(
+            "rows = [v for v in {3, 1, 2}]\n", module="repro.gossip.fake"
+        )
+        assert rules_of(report) == []
+
+    def test_sibling_function_locals_do_not_leak(self):
+        # A set-typed local in one function must not taint the same
+        # name in another scope (the codec's decode branches).
+        report = lint(
+            """
+            def a():
+                items = set()
+                return frozenset(items)
+
+            def b():
+                items = []
+                return tuple(items)
+            """,
+            module="repro.dag.fake",
+        )
+        assert rules_of(report) == []
+
+
+# -------------------------------------------------------------- import-layering
+
+
+class TestImportLayering:
+    def test_protocols_may_not_import_net(self):
+        report = lint(
+            "from repro.net.simulator import NetworkSimulator\n",
+            module="repro.protocols.evil",
+        )
+        assert rules_of(report) == ["import-layering"]
+
+    def test_protocols_may_not_import_storage(self):
+        report = lint(
+            "import repro.storage.wal\n", module="repro.protocols.evil"
+        )
+        assert rules_of(report) == ["import-layering"]
+
+    def test_obs_may_not_import_scenario(self):
+        report = lint(
+            "from repro.scenario.spec import Scenario\n", module="repro.obs.evil"
+        )
+        assert rules_of(report) == ["import-layering"]
+
+    def test_dag_may_not_import_interpret(self):
+        report = lint(
+            "from repro.interpret.interpreter import Interpreter\n",
+            module="repro.dag.evil",
+        )
+        assert rules_of(report) == ["import-layering"]
+
+    def test_protocols_importing_dag_is_clean(self):
+        report = lint(
+            "from repro.dag.codec import encoding_key\n",
+            module="repro.protocols.good",
+        )
+        assert rules_of(report) == []
+
+    def test_type_checking_guard_is_exempt(self):
+        report = lint(
+            """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.shim.shim import Shim
+            """,
+            module="repro.horizon.compare",
+        )
+        assert rules_of(report) == []
+
+    def test_function_scoped_import_is_exempt(self):
+        report = lint(
+            """
+            def register():
+                from repro.dag.codec import register_dataclass
+                return register_dataclass
+            """,
+            module="repro.types",
+        )
+        assert rules_of(report) == []
+
+    def test_facade_import_is_flagged(self):
+        report = lint("import repro\n", module="repro.dag.evil")
+        assert rules_of(report) == ["import-layering"]
+
+
+# --------------------------------------------------------- no-thread-no-asyncio
+
+
+class TestNoThreadNoAsyncio:
+    def test_fires_on_threading(self):
+        report = lint("import threading\n")
+        assert rules_of(report) == ["no-thread-no-asyncio"]
+
+    def test_fires_on_asyncio(self):
+        report = lint("import asyncio\n")
+        assert rules_of(report) == ["no-thread-no-asyncio"]
+
+    def test_fires_on_executor_import(self):
+        report = lint("from concurrent.futures import ThreadPoolExecutor\n")
+        assert rules_of(report) == ["no-thread-no-asyncio"]
+
+    def test_silent_on_singlethreaded_stdlib(self):
+        report = lint("import heapq\nimport itertools\n")
+        assert rules_of(report) == []
+
+
+# ------------------------------------------------------- suppression protocol
+
+
+class TestSuppressions:
+    def test_allow_with_reason_suppresses(self):
+        report = lint(
+            "import time  # lint: allow(no-wall-clock) — fixture proves the rule\n"
+        )
+        assert rules_of(report) == []
+        assert report.suppressed == 1
+
+    def test_allow_without_reason_is_bare_allow(self):
+        report = lint("import time  # lint: allow(no-wall-clock)\n")
+        assert rules_of(report) == ["bare-allow"]
+        assert report.suppressed == 1
+
+    def test_unused_allow_is_flagged(self):
+        report = lint("x = 1  # lint: allow(no-pickle) — stale excuse\n")
+        assert rules_of(report) == ["unused-allow"]
+
+    def test_allow_only_covers_named_rule(self):
+        report = lint(
+            "import pickle  # lint: allow(no-wall-clock) — wrong rule\n"
+        )
+        assert "no-pickle" in rules_of(report)
+        assert "unused-allow" in rules_of(report)
+
+    def test_docstring_examples_are_inert(self):
+        report = lint(
+            '''
+            def helper():
+                """Suppress with ``# lint: allow(no-pickle) — reason``."""
+                return 1
+            '''
+        )
+        assert rules_of(report) == []
+
+    def test_parse_error_is_a_finding(self):
+        report = lint("def broken(:\n")
+        assert rules_of(report) == ["parse-error"]
+
+
+# ----------------------------------------------------------------- baseline
+
+
+class TestBaseline:
+    def test_baselined_findings_are_filtered(self):
+        report = lint("import pickle\n", path="src/repro/fake.py")
+        baseline = Baseline(entries={("no-pickle", "src/repro/fake.py", 1)})
+        new, stale = baseline.split(report.findings)
+        assert new == [] and stale == []
+
+    def test_stale_entries_are_reported(self):
+        baseline = Baseline(entries={("no-pickle", "src/repro/gone.py", 9)})
+        new, stale = baseline.split([])
+        assert new == [] and stale == [("no-pickle", "src/repro/gone.py", 9)]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        finding = Finding(
+            rule="no-pickle", path="a.py", line=3, col=1, message="m"
+        )
+        Baseline.write(path, [finding])
+        loaded = Baseline.load(path)
+        assert loaded.entries == {("no-pickle", "a.py", 3)}
+
+
+# ----------------------------------------------------------------- engine/CLI
+
+
+class TestEngine:
+    def test_module_name_for(self):
+        assert (
+            module_name_for(Path("src/repro/dag/codec.py")) == "repro.dag.codec"
+        )
+        assert module_name_for(Path("src/repro/obs/__init__.py")) == "repro.obs"
+        assert module_name_for(Path("/tmp/scratch/bad.py")) == "bad"
+
+    def test_findings_sort_deterministically(self):
+        report = lint("import pickle\nimport threading\nimport time\n")
+        assert report.findings == sorted(report.findings)
+
+
+def _run_cli(*argv: str, cwd: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestCli:
+    def test_shipped_tree_lints_clean(self):
+        # The tier-1 meta-test: the committed tree has zero findings
+        # against the committed (empty) baseline.
+        result = _run_cli("src/repro", cwd=REPO_ROOT)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 findings" in result.stdout
+
+    def test_shipped_baseline_is_empty(self):
+        document = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+        assert document == {"version": 1, "findings": []}
+
+    def test_violation_fails_with_github_annotation(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nnow = time.time()\n", encoding="utf-8")
+        result = _run_cli(
+            str(bad), "--format", "github", "--no-baseline", cwd=tmp_path
+        )
+        assert result.returncode == 1
+        assert "::error file=" in result.stdout
+        assert "no-wall-clock" in result.stdout
+        assert f"line=2" in result.stdout  # the time.time() read itself
+
+    def test_json_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import pickle\n", encoding="utf-8")
+        result = _run_cli(
+            str(bad), "--format", "json", "--no-baseline", cwd=tmp_path
+        )
+        document = json.loads(result.stdout)
+        assert result.returncode == 1
+        assert document["counts"]["findings"] == 1
+        assert document["findings"][0]["rule"] == "no-pickle"
+
+    def test_select_runs_only_named_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import pickle\nimport threading\n", encoding="utf-8")
+        result = _run_cli(
+            str(bad),
+            "--select",
+            "no-pickle",
+            "--no-baseline",
+            cwd=tmp_path,
+        )
+        assert result.returncode == 1
+        assert "no-pickle" in result.stdout
+        assert "no-thread-no-asyncio" not in result.stdout
+
+    def test_list_rules_names_all_seven(self):
+        result = _run_cli("--list-rules", cwd=REPO_ROOT)
+        for name in (
+            "no-wall-clock",
+            "seeded-randomness-only",
+            "cow-barrier",
+            "no-pickle",
+            "deterministic-iteration",
+            "import-layering",
+            "no-thread-no-asyncio",
+        ):
+            assert name in result.stdout
