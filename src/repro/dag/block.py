@@ -201,6 +201,21 @@ class BlockBuilder:
         self._seen_preds.add(ref)
         return True
 
+    def _canonical_preds(self) -> tuple[BlockRef, ...]:
+        """The accumulated references in canonical seal order.
+
+        ``ref(B)`` hashes ``preds`` *in order*, so two servers (or two
+        runs) sealing the same logical block must list the same
+        references in the same sequence.  Foreign references accumulate
+        in validation order, which is deterministic on the simulator but
+        arrival-order-dependent on a real network — so seal normalizes:
+        the parent (the builder's own previous block, always slot 0 when
+        present) stays first, everything else is sorted by reference.
+        """
+        if self._k == 0:
+            return tuple(sorted(self._preds))
+        return (self._preds[0], *sorted(self._preds[1:]))
+
     def seal(
         self,
         requests: Sequence[tuple[Label, Request]],
@@ -215,7 +230,7 @@ class BlockBuilder:
         unsigned = Block(
             n=self.server,
             k=self._k,
-            preds=tuple(self._preds),
+            preds=self._canonical_preds(),
             rs=tuple(requests),
             hz=self._claim,
         )

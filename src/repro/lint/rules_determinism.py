@@ -222,24 +222,33 @@ class NoThreadNoAsyncio(Rule):
 
     Scheduling order is invisible nondeterminism: two replicas running
     the same DAG on different thread interleavings can emit differently
-    ordered effects.  Concurrency enters only behind an explicit seam
-    (the planned transport layer / parallel-interpretation scheduler,
-    which must prove trace equality against the sequential oracle);
-    when that seam lands, its module joins ``ALLOWED_MODULES`` here as
-    a reviewed diff.
+    ordered effects.  Concurrency enters only behind the explicit
+    transport seam: the live wire layer (``repro.net.live``) and the
+    live node/cluster runtime (``repro.runtime.live``) own the event
+    loop, and *nothing else* — the protocol/gossip/interpreter core
+    they drive stays the same single-threaded code the simulator runs,
+    which is what makes ``trace diff --mode chains`` between the two
+    arms meaningful.  Growing ``ALLOWED_MODULES`` is a reviewed diff;
+    there are deliberately no per-line suppressions for this rule.
     """
 
     name = "no-thread-no-asyncio"
-    summary = "no threading/asyncio/executors until the transport seam lands"
+    summary = "event loops only in repro.net.live / repro.runtime.live"
 
     BANNED = frozenset(
         {"threading", "_thread", "asyncio", "concurrent", "multiprocessing", "queue"}
     )
-    #: Will name the transport/worker modules once that seam exists.
-    ALLOWED_MODULES: frozenset[str] = frozenset()
+    #: The transport seam: these prefixes (and their submodules) may
+    #: import asyncio.  Everything else stays single-threaded.
+    ALLOWED_MODULES: frozenset[str] = frozenset(
+        {"repro.net.live", "repro.runtime.live"}
+    )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        if ctx.module in self.ALLOWED_MODULES:
+        if any(
+            ctx.module == allowed or ctx.module.startswith(allowed + ".")
+            for allowed in self.ALLOWED_MODULES
+        ):
             return
         for node in _imports(ctx.tree):
             if isinstance(node, ast.Import):
@@ -254,5 +263,6 @@ class NoThreadNoAsyncio(Rule):
                     ctx,
                     node,
                     f"imports {', '.join(sorted(banned))}; the deterministic "
-                    "core is single-threaded until the transport seam lands",
+                    "core is single-threaded — event loops live only in "
+                    "repro.net.live / repro.runtime.live",
                 )

@@ -100,6 +100,10 @@ ARCHITECTURE: dict[str, frozenset[str]] = {
         }
     ),
     "analysis": frozenset({"crypto", "dag", "errors", "runtime", "types"}),
+    # The live single-server entrypoint (`python -m repro.node`): pure
+    # assembly over the runtime and the scenario registry's protocol
+    # catalogue, nothing below that.
+    "node": frozenset({"errors", "runtime", "scenario", "types"}),
     "scenario": frozenset(
         {
             "crypto",

@@ -1,0 +1,30 @@
+"""``repro.net.live`` — the real-socket transport subsystem.
+
+Everything event-loop-shaped in the networking layer lives under this
+package (and ``repro.runtime.live``); the ``no-thread-no-asyncio``
+lint rule allows ``asyncio`` here and nowhere else, so the
+deterministic core — gossip, interpreter, DAG — stays provably
+single-threaded and clock-free.  The seam is the existing
+:class:`~repro.net.transport.Transport` ABC: gossip drives a
+:class:`~repro.net.live.transport.LiveTransport` exactly as it drives
+the simulator's :class:`~repro.net.transport.SimTransport`.
+"""
+
+from repro.net.live.framing import (
+    FrameDecoder,
+    FrameStats,
+    Hello,
+    encode_frame,
+    register_wire_types,
+)
+from repro.net.live.transport import LiveTransport, parse_address
+
+__all__ = [
+    "FrameDecoder",
+    "FrameStats",
+    "Hello",
+    "LiveTransport",
+    "encode_frame",
+    "parse_address",
+    "register_wire_types",
+]

@@ -1,0 +1,340 @@
+"""``LiveTransport`` — the :class:`~repro.net.transport.Transport` ABC
+over real sockets.
+
+One instance serves one server process: it listens on the server's own
+address (UDS path or TCP ``host:port``), dials every peer lazily, and
+carries the same two gossip envelopes the simulator carries — framed by
+:mod:`repro.net.live.framing` over the canonical codec.
+
+Design points, mirroring what the discrete-event simulator guarantees
+for free:
+
+* **Per-peer outbound queues.**  ``send`` never blocks the caller (the
+  gossip hot path): envelopes join a bounded per-peer deque and a pump
+  task drains it over the connection.  When a peer is down the queue
+  retains traffic across reconnects, so a restarted peer receives the
+  backlog — the live analogue of the simulator's in-flight heap.  On
+  overflow the *oldest* envelope is dropped (gossip's FWD chasing and
+  the node's tip beacon recover anything a drop loses).
+* **Reconnect with jittered exponential backoff.**  Dial failures back
+  off up to ``reconnect_ceiling`` with per-link seeded jitter, so a
+  4-process cluster starting simultaneously does not stampede.
+* **Backpressure.**  The pump awaits ``drain()`` after every write, so
+  a slow peer's TCP window throttles its queue drain instead of
+  buffering unboundedly in the kernel; the bounded deque caps what a
+  dead peer can pin in user space.
+* **Flight-recorder wire events.**  ``wire-send``/``wire-recv`` are
+  emitted with the same fields as the simulator's, so the lifecycle
+  index and ``trace diff`` work identically on live traces.
+
+The event loop never leaks past this module's boundary: gossip calls
+``send``/``schedule`` synchronously, and inbound frames call the
+handler synchronously from the reader task — single-threaded, like
+every other transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+from collections import deque
+from typing import Callable, Mapping
+
+from repro.errors import NetworkError
+from repro.net.live.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    Hello,
+    encode_frame,
+    register_wire_types,
+)
+from repro.net.message import Envelope
+from repro.net.simulator import WireMetrics, _envelope_ref
+from repro.net.transport import Transport
+from repro.obs.trace import NULL_RECORDER
+from repro.types import ServerId
+
+#: Handler invoked on delivery: ``handler(source, envelope)``.
+Handler = Callable[[ServerId, Envelope], None]
+
+_CONNECT_ERRORS = (ConnectionError, OSError, asyncio.IncompleteReadError)
+
+
+def parse_address(address: str) -> tuple[str, object]:
+    """Parse ``unix:/path/to.sock`` or ``tcp:host:port``.
+
+    Returns ``("unix", path)`` or ``("tcp", (host, port))``.
+    """
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise NetworkError(f"empty UDS path in address {address!r}")
+        return "unix", path
+    if address.startswith("tcp:"):
+        rest = address[len("tcp:"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise NetworkError(
+                f"bad TCP address {address!r} (expected tcp:host:port)"
+            )
+        return "tcp", (host, int(port))
+    raise NetworkError(
+        f"bad address {address!r} (expected unix:<path> or tcp:<host>:<port>)"
+    )
+
+
+class LiveTransport(Transport):
+    """A server's socket endpoint: listener, per-peer dialers, queues.
+
+    Parameters
+    ----------
+    self_id:
+        This server's identity.
+    addresses:
+        Address of *every* server in the cluster, this one included
+        (its entry is the listen address).
+    handler:
+        Ingress callback ``(src, envelope)``; may also be assigned
+        after construction (the shim is built around the transport).
+    tracer:
+        Optional flight recorder for ``wire-send``/``wire-recv``.
+    seed:
+        Seeds the per-link backoff jitter.
+    max_queue:
+        Bound of each per-peer outbound deque.
+    """
+
+    def __init__(
+        self,
+        self_id: ServerId,
+        addresses: Mapping[ServerId, str],
+        handler: Handler | None = None,
+        tracer: object | None = None,
+        *,
+        seed: int = 0,
+        max_queue: int = 4096,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        reconnect_floor: float = 0.05,
+        reconnect_ceiling: float = 1.0,
+    ) -> None:
+        register_wire_types()
+        if self_id not in addresses:
+            raise NetworkError(f"no listen address for {self_id!r}")
+        self._self_id = self_id
+        self.addresses: dict[ServerId, str] = dict(addresses)
+        self.handler = handler
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
+        self.seed = seed
+        self.max_queue = max_queue
+        self.max_frame_bytes = max_frame_bytes
+        self.reconnect_floor = reconnect_floor
+        self.reconnect_ceiling = reconnect_ceiling
+        self.metrics = WireMetrics()
+        self.delivered_count = 0
+        self.dropped_overflow = 0
+        self.reconnects = 0
+        self.frames_damaged = 0
+        self._queues: dict[ServerId, deque[Envelope]] = {}
+        self._wakeups: dict[ServerId, asyncio.Event] = {}
+        self._writers: dict[ServerId, asyncio.StreamWriter] = {}
+        self._tasks: list[asyncio.Task] = []
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- Transport ABC ---------------------------------------------------------
+
+    @property
+    def self_id(self) -> ServerId:
+        return self._self_id
+
+    @property
+    def now(self) -> float:
+        """Monotonic loop time — CLOCK_MONOTONIC, comparable across
+        processes on one machine (what the lifecycle stage joins need)."""
+        if self._loop is None:
+            return 0.0
+        return self._loop.time()
+
+    def send(self, dst: ServerId, envelope: Envelope) -> None:
+        """Queue one envelope for ``dst``; never blocks."""
+        self.metrics.record(envelope)
+        if self.tracer.enabled:
+            self.tracer.emit(  # type: ignore[attr-defined]
+                "wire-send",
+                block=_envelope_ref(envelope),
+                peer=dst,
+                envelope=type(envelope).__name__,
+                bytes=envelope.wire_size(),
+            )
+        if dst == self._self_id:
+            # Self-sends are legal on every transport; loop back
+            # asynchronously to preserve "send returns before delivery".
+            if self._loop is not None:
+                self._loop.call_soon(self._deliver, dst, envelope)
+            return
+        queue = self._queues.get(dst)
+        if queue is None:
+            raise NetworkError(f"unknown destination: {dst!r}")
+        if len(queue) >= self.max_queue:
+            queue.popleft()
+            self.dropped_overflow += 1
+        queue.append(envelope)
+        self._wakeups[dst].set()
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` after ``delay`` seconds of loop time."""
+        if self._loop is None:
+            raise NetworkError("transport not started")
+        self._loop.call_later(delay, action)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start one pump task per peer."""
+        self._loop = asyncio.get_running_loop()
+        kind, target = parse_address(self.addresses[self._self_id])
+        if kind == "unix":
+            path = str(target)
+            # A previous incarnation's socket file blocks rebinding —
+            # each server owns its path, so a stale one is safe to clear.
+            if os.path.exists(path):
+                os.unlink(path)
+            self._server = await asyncio.start_unix_server(
+                self._serve_connection, path=path
+            )
+        else:
+            host, port = target  # type: ignore[misc]
+            self._server = await asyncio.start_server(
+                self._serve_connection, host=host, port=port
+            )
+        for peer in self.addresses:
+            if peer == self._self_id:
+                continue
+            self._queues[peer] = deque()
+            self._wakeups[peer] = asyncio.Event()
+            self._tasks.append(self._loop.create_task(self._pump(peer)))
+
+    async def stop(self) -> None:
+        """Cancel pumps, close the listener and every open connection."""
+        for task in self._tasks:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        for writer in list(self._writers.values()):
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def queued(self, dst: ServerId) -> int:
+        """Envelopes waiting in ``dst``'s outbound queue."""
+        return len(self._queues.get(dst, ()))
+
+    # -- ingress ---------------------------------------------------------------
+
+    def _deliver(self, src: ServerId, envelope: Envelope) -> None:
+        self.delivered_count += 1
+        if self.tracer.enabled:
+            self.tracer.emit(  # type: ignore[attr-defined]
+                "wire-recv",
+                block=_envelope_ref(envelope),
+                peer=src,
+                envelope=type(envelope).__name__,
+                bytes=envelope.wire_size(),
+            )
+        if self.handler is not None:
+            self.handler(src, envelope)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One inbound connection: Hello first, then envelopes."""
+        decoder = FrameDecoder(max_frame_bytes=self.max_frame_bytes)
+        src: ServerId | None = None
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for value in decoder.feed(chunk):
+                    if isinstance(value, Hello):
+                        src = ServerId(value.server)
+                    elif src is not None and isinstance(value, Envelope):
+                        self._deliver(src, value)
+                    else:
+                        # Envelope before Hello, or a non-envelope
+                        # value: attributable to nobody — drop it.
+                        self.frames_damaged += 1
+        except asyncio.CancelledError:
+            # Loop shutdown (asyncio.run cancels the handler tasks the
+            # listener spawned): finish quietly so the streams machinery
+            # doesn't log the cancellation as an error.
+            pass
+        except _CONNECT_ERRORS:
+            pass
+        finally:
+            self.frames_damaged += (
+                decoder.stats.crc_failures + decoder.stats.decode_failures
+            )
+            writer.close()
+
+    # -- egress ----------------------------------------------------------------
+
+    async def _connect(self, peer: ServerId) -> asyncio.StreamWriter:
+        kind, target = parse_address(self.addresses[peer])
+        if kind == "unix":
+            _, writer = await asyncio.open_unix_connection(path=str(target))
+        else:
+            host, port = target  # type: ignore[misc]
+            _, writer = await asyncio.open_connection(host=host, port=port)
+        writer.write(encode_frame(Hello(str(self._self_id))))
+        await writer.drain()
+        return writer
+
+    async def _pump(self, peer: ServerId) -> None:
+        """Drain ``peer``'s queue over one (re-established) connection."""
+        rng = random.Random(f"{self._self_id}->{peer}#{self.seed}")
+        backoff = self.reconnect_floor
+        queue = self._queues[peer]
+        wakeup = self._wakeups[peer]
+        writer: asyncio.StreamWriter | None = None
+        try:
+            while True:
+                if writer is None:
+                    try:
+                        writer = await self._connect(peer)
+                    except _CONNECT_ERRORS:
+                        self.reconnects += 1
+                        await asyncio.sleep(backoff * (0.5 + rng.random()))
+                        backoff = min(backoff * 2, self.reconnect_ceiling)
+                        continue
+                    self._writers[peer] = writer
+                    backoff = self.reconnect_floor
+                if not queue:
+                    wakeup.clear()
+                    if not queue:  # re-check: set() may have raced clear()
+                        await wakeup.wait()
+                    continue
+                envelope = queue[0]
+                try:
+                    writer.write(encode_frame(envelope))
+                    await writer.drain()
+                except _CONNECT_ERRORS:
+                    self._drop_writer(peer)
+                    writer = None
+                    continue
+                # Popped only after a successful write: a write that
+                # died mid-frame is retried on the next connection (the
+                # decoder on the far side resyncs past the torn frame).
+                queue.popleft()
+        finally:
+            self._drop_writer(peer)
+
+    def _drop_writer(self, peer: ServerId) -> None:
+        writer = self._writers.pop(peer, None)
+        if writer is not None:
+            writer.close()

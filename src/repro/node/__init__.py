@@ -1,0 +1,16 @@
+"""``repro.node`` — the single-server live entrypoint.
+
+``python -m repro.node --config node.json`` runs one server of a live
+cluster: it loads a :class:`~repro.runtime.live.node.NodeConfig`,
+resolves the protocol through the scenario registry (which also
+registers the protocol's request dataclasses with the canonical codec
+— required before any frame can be decoded), and hands off to
+:func:`~repro.runtime.live.node.run_node`.
+
+This module itself stays free of ``asyncio``: the event loop is
+confined to ``repro.net.live`` / ``repro.runtime.live`` by the
+``no-thread-no-asyncio`` lint rule, and the entrypoint is exactly the
+kind of assembly code that must not need an exemption.
+"""
+
+__all__: list[str] = []

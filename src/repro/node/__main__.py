@@ -1,0 +1,43 @@
+"""CLI of one live server process (see the package docstring)."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.runtime.live.node import NodeConfig, run_node
+from repro.scenario.spec import resolve_protocol
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.node",
+        description="Run one live block-DAG server from a NodeConfig JSON.",
+    )
+    parser.add_argument(
+        "--config",
+        required=True,
+        help="path to the NodeConfig JSON (written by LiveCluster, or by hand)",
+    )
+    parser.add_argument(
+        "--print-status",
+        action="store_true",
+        help="print the final NodeStatus JSON to stdout on exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = NodeConfig.from_json(Path(args.config).read_text(encoding="utf-8"))
+    entry = resolve_protocol(config.protocol)
+    status = run_node(config, entry.spec, entry.make_request)
+    if args.print_status:
+        print(json.dumps(status.to_json_dict(), indent=2, sort_keys=True))
+    return 0 if status.complete else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""``repro.runtime.live`` — one OS process per server, real sockets.
+
+:mod:`repro.runtime.live.node` assembles a full shim (gossip +
+interpreter + storage) around a
+:class:`~repro.net.live.transport.LiveTransport` and drives it with an
+asyncio tick loop; :mod:`repro.runtime.live.cluster` spawns one such
+node process per server and watches their status files.  Together they
+are the live twin of :class:`~repro.runtime.cluster.Cluster`: the same
+Scenario JSON drives either arm, and ``trace diff --mode chains``
+proves both admit the same per-builder chains.
+
+Like ``repro.net.live``, this package is on the
+``no-thread-no-asyncio`` allow-list; the event loop stops at its edge.
+"""
+
+from repro.runtime.live.cluster import LiveCluster, LiveRunResult
+from repro.runtime.live.node import LiveNode, NodeConfig, run_node
+
+__all__ = ["LiveCluster", "LiveNode", "LiveRunResult", "NodeConfig", "run_node"]

@@ -1,0 +1,206 @@
+"""``LiveCluster`` — spawn one ``repro.node`` process per server.
+
+The launcher writes each server's :class:`NodeConfig` JSON into the run
+directory, spawns ``python -m repro.node --config <file>`` per server,
+and watches the *status files* the nodes atomically rewrite — no
+control channel, no shared memory: the only coordination artifacts are
+files and sockets, so killing a node with SIGKILL is exactly the crash
+the storage layer's recovery path is specified against.
+
+``kill(server)`` / ``start(server)`` expose that crash surface to
+tests (the live twin of the simulated ``CrashPlan``); ``run()`` is the
+happy path: start everyone, wait until every status reports
+``complete`` with matching DAG fingerprints, then SIGTERM the fleet
+(nodes export their flight-recorder traces on the way down).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import NetworkError
+from repro.runtime.live.node import NodeConfig, NodeStatus
+from repro.types import ServerId
+
+
+@dataclass
+class LiveRunResult:
+    """Outcome of one :meth:`LiveCluster.run`."""
+
+    converged: bool
+    wall_seconds: float
+    statuses: dict[str, NodeStatus] = field(default_factory=dict)
+    trace_paths: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def fingerprints(self) -> dict[str, str]:
+        return {s: st.fingerprint for s, st in self.statuses.items()}
+
+    def delivered_min(self) -> dict[str, int]:
+        """Per label: the minimum delivery count across servers."""
+        merged: dict[str, int] = {}
+        for status in self.statuses.values():
+            for label, count in status.delivered.items():
+                merged[label] = min(merged.get(label, count), count)
+        return merged
+
+
+class LiveCluster:
+    """One OS process per server, coordinated through status files."""
+
+    def __init__(
+        self,
+        configs: dict[ServerId, NodeConfig],
+        run_dir: str | Path,
+        *,
+        poll_interval: float = 0.1,
+    ) -> None:
+        if not configs:
+            raise NetworkError("live cluster needs at least one server")
+        self.configs = dict(configs)
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.poll_interval = poll_interval
+        self.processes: dict[ServerId, asyncio.subprocess.Process] = {}
+        self.restarts = 0
+        for server, config in self.configs.items():
+            if config.status_path is None:
+                raise NetworkError(f"node {server} has no status_path")
+            self.config_path(server).write_text(
+                config.to_json(), encoding="utf-8"
+            )
+
+    # -- paths -----------------------------------------------------------------
+
+    def config_path(self, server: ServerId) -> Path:
+        return self.run_dir / f"{server}.config.json"
+
+    def _env(self) -> dict[str, str]:
+        # The child must import the same `repro` this process runs:
+        # this file is src/repro/runtime/live/cluster.py, so the
+        # importable root is three directories up.
+        src_root = str(Path(__file__).resolve().parents[3])
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        return env
+
+    # -- process control -------------------------------------------------------
+
+    async def start(self, server: ServerId) -> None:
+        """Spawn (or respawn) one node process."""
+        if server not in self.configs:
+            raise NetworkError(f"unknown server: {server!r}")
+        existing = self.processes.get(server)
+        if existing is not None and existing.returncode is None:
+            raise NetworkError(f"server already running: {server!r}")
+        if existing is not None:
+            self.restarts += 1
+        process = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.node",
+            "--config",
+            str(self.config_path(server)),
+            env=self._env(),
+        )
+        self.processes[server] = process
+
+    async def start_all(self) -> None:
+        for server in self.configs:
+            await self.start(server)
+
+    def kill(self, server: ServerId) -> None:
+        """SIGKILL — the real crash (no flush, no goodbye)."""
+        process = self.processes.get(server)
+        if process is None or process.returncode is not None:
+            raise NetworkError(f"server not running: {server!r}")
+        process.kill()
+
+    async def shutdown(self, timeout: float = 10.0) -> None:
+        """SIGTERM everyone, wait, SIGKILL stragglers."""
+        for process in self.processes.values():
+            if process.returncode is None:
+                process.terminate()
+        for process in self.processes.values():
+            try:
+                await asyncio.wait_for(process.wait(), timeout=timeout)
+            except asyncio.TimeoutError:
+                process.kill()
+                await process.wait()
+
+    # -- status ----------------------------------------------------------------
+
+    def status(self, server: ServerId) -> NodeStatus | None:
+        path = self.configs[server].status_path
+        assert path is not None
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            return NodeStatus.from_json_dict(json.loads(text))
+        except (ValueError, TypeError):
+            return None  # torn read of a non-atomic filesystem
+
+    def statuses(self) -> dict[str, NodeStatus]:
+        result: dict[str, NodeStatus] = {}
+        for server in self.configs:
+            status = self.status(server)
+            if status is not None:
+                result[str(server)] = status
+        return result
+
+    def _all_complete(self) -> bool:
+        statuses = self.statuses()
+        if len(statuses) < len(self.configs):
+            return False
+        if not all(s.complete for s in statuses.values()):
+            return False
+        return len({s.fingerprint for s in statuses.values()}) == 1
+
+    async def wait_converged(self, timeout: float) -> bool:
+        """Poll statuses until every node is complete on one fingerprint."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            if self._all_complete():
+                return True
+            await asyncio.sleep(self.poll_interval)
+        return self._all_complete()
+
+    # -- the happy path --------------------------------------------------------
+
+    async def _run(self, timeout: float) -> LiveRunResult:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            await self.start_all()
+            converged = await self.wait_converged(timeout)
+        finally:
+            await self.shutdown()
+        return LiveRunResult(
+            converged=converged,
+            wall_seconds=loop.time() - started,
+            statuses=self.statuses(),
+            trace_paths={
+                str(server): config.trace_path
+                for server, config in self.configs.items()
+                if config.trace_path is not None
+            },
+        )
+
+    def run(self, timeout: float = 60.0) -> LiveRunResult:
+        """Start, wait for convergence, shut down — synchronously.
+
+        The event loop lives entirely inside this call; callers (the
+        scenario runner, benchmarks) never import asyncio.
+        """
+        return asyncio.run(self._run(timeout))

@@ -1,0 +1,484 @@
+"""A single live server: shim + ``LiveTransport`` + asyncio tick loop.
+
+``python -m repro.node --config node.json`` runs one of these per OS
+process.  The node's job is to make a real-socket run *admit the same
+per-builder chains* as the simulator driving the same scenario, so the
+flight-recorder comparison (``trace diff --mode chains``) closes the
+loop between the two arms.  Three mechanisms buy that equality:
+
+* **Lockstep gating** — before sealing tick ``t`` the node waits until
+  every server's chain has reached ``k = t - 1`` in its DAG (with a
+  generous timeout so a dead peer cannot wedge the cluster).  This is
+  the live analogue of the simulator's round structure: all of round
+  ``t - 1``'s blocks are validated before any round-``t`` block seals.
+* **Ingress hold** — a foreign block with ``k`` equal to our *next*
+  sequence number arrived "from the future" (its builder is already
+  sealing the tick we have not sealed yet).  It is held outside gossip
+  and replayed right after our own seal, exactly where the simulator
+  would have delivered it.  Blocks further ahead (only possible during
+  catch-up after a restart) pass straight through so FWD chasing can
+  pull the gap.
+* **Deterministic workload schedule** — the launcher compiles the
+  scenario's workload into an explicit ``(tick, label, index)``
+  schedule per server (see :mod:`repro.scenario.live`), so both arms
+  inject identical requests at identical chain positions.
+
+Liveness across kill -9: a periodic *tip beacon* re-broadcasts this
+server's latest block.  A restarted peer that recovered from disk
+buffers the beacon block and FWD-chases the whole missed range; peers'
+outbound queues additionally retain traffic queued while it was down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import signal
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.crypto.keys import KeyRing
+from repro.gossip.module import GossipConfig
+from repro.net.live.transport import LiveTransport
+from repro.net.message import BlockEnvelope, Envelope
+from repro.obs.export import write_jsonl
+from repro.obs.trace import TraceRecorder
+from repro.protocols.base import ProtocolSpec
+from repro.shim.shim import Shim
+from repro.storage.blockstore import ServerStorage
+from repro.types import Label, Request, ServerId
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Everything one node process needs, JSON-round-trippable.
+
+    ``workload`` is the compiled injection schedule for *this* server:
+    ``(tick, label, request index)`` triples, injected just before the
+    seal of ``tick``.  ``expected`` lists ``(label, minimum)`` delivery
+    targets the node reports completion against.
+    """
+
+    server: str
+    servers: tuple[str, ...]
+    protocol: str
+    addresses: dict[str, str]
+    seed: int = 0
+    max_ticks: int = 8
+    #: Per-tick lockstep gate timeout (seconds); on expiry the node
+    #: seals anyway so a dead peer cannot wedge the cluster.
+    tick_timeout: float = 10.0
+    #: Budget for the post-seal completion wait.
+    settle_timeout: float = 30.0
+    #: Optional pacing delay between ticks (0 = as fast as the gate allows).
+    tick_interval: float = 0.0
+    status_interval: float = 0.2
+    beacon_interval: float = 0.25
+    fwd_retry_interval: float = 0.1
+    max_requests_per_block: int = 256
+    lockstep: bool = True
+    workload: tuple[tuple[int, str, int], ...] = ()
+    expected: tuple[tuple[str, int], ...] = ()
+    storage_dir: str | None = None
+    trace_path: str | None = None
+    status_path: str | None = None
+    trace_capacity: int = 262144
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "server": self.server,
+            "servers": list(self.servers),
+            "protocol": self.protocol,
+            "addresses": dict(self.addresses),
+            "seed": self.seed,
+            "max_ticks": self.max_ticks,
+            "tick_timeout": self.tick_timeout,
+            "settle_timeout": self.settle_timeout,
+            "tick_interval": self.tick_interval,
+            "status_interval": self.status_interval,
+            "beacon_interval": self.beacon_interval,
+            "fwd_retry_interval": self.fwd_retry_interval,
+            "max_requests_per_block": self.max_requests_per_block,
+            "lockstep": self.lockstep,
+            "workload": [list(entry) for entry in self.workload],
+            "expected": [list(entry) for entry in self.expected],
+            "storage_dir": self.storage_dir,
+            "trace_path": self.trace_path,
+            "status_path": self.status_path,
+            "trace_capacity": self.trace_capacity,
+        }
+
+    @staticmethod
+    def from_json_dict(data: dict[str, object]) -> "NodeConfig":
+        payload = dict(data)
+        payload["servers"] = tuple(payload.get("servers", ()))  # type: ignore[arg-type]
+        payload["addresses"] = dict(payload.get("addresses", {}))  # type: ignore[arg-type]
+        payload["workload"] = tuple(
+            (int(t), str(label), int(index))
+            for t, label, index in payload.get("workload", ())  # type: ignore[union-attr]
+        )
+        payload["expected"] = tuple(
+            (str(label), int(minimum))
+            for label, minimum in payload.get("expected", ())  # type: ignore[union-attr]
+        )
+        return NodeConfig(**payload)  # type: ignore[arg-type]
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "NodeConfig":
+        return NodeConfig.from_json_dict(json.loads(text))
+
+
+@dataclass
+class NodeStatus:
+    """What a node periodically publishes (atomic JSON file)."""
+
+    server: str
+    pid: int
+    tick: int
+    blocks: int
+    fingerprint: str
+    delivered: dict[str, int] = field(default_factory=dict)
+    ticks_done: bool = False
+    complete: bool = False
+    recovered: bool = False
+    gate_timeouts: int = 0
+    held: int = 0
+    wire_messages: int = 0
+    wire_bytes: int = 0
+    dropped_overflow: int = 0
+    reconnects: int = 0
+
+    def to_json_dict(self) -> dict[str, object]:
+        return dict(self.__dict__, delivered=dict(self.delivered))
+
+    @staticmethod
+    def from_json_dict(data: dict[str, object]) -> "NodeStatus":
+        return NodeStatus(**data)  # type: ignore[arg-type]
+
+
+class LiveNode:
+    """One server over real sockets; see the module docstring."""
+
+    def __init__(
+        self,
+        config: NodeConfig,
+        protocol: ProtocolSpec,
+        make_request: Callable[[int], Request],
+    ) -> None:
+        self.config = config
+        self.protocol = protocol
+        self.make_request = make_request
+        self.server = ServerId(config.server)
+        self.servers = [ServerId(s) for s in config.servers]
+        self.keyring = KeyRing(self.servers)
+        self.gate_timeouts = 0
+        self.recorder: TraceRecorder | None = None
+        self.shim: Shim | None = None
+        self.transport: LiveTransport | None = None
+        #: Blocks held at the lockstep ingress gate, keyed by ref.
+        self._held: dict[str, tuple[ServerId, BlockEnvelope]] = {}
+        #: Ingress that arrived before the shim existed (a fast peer
+        #: dialing in while we were still recovering from disk).
+        self._pre_shim: list[tuple[ServerId, Envelope]] = []
+        self._progress: asyncio.Event | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._schedule: dict[int, list[tuple[str, int]]] = {}
+        for tick, label, index in config.workload:
+            self._schedule.setdefault(tick, []).append((label, index))
+
+    # -- assembly --------------------------------------------------------------
+
+    async def _assemble(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._progress = asyncio.Event()
+        self._stop_event = asyncio.Event()
+        config = self.config
+        if config.trace_path is not None:
+            self.recorder = TraceRecorder(
+                self.server, clock=loop.time, capacity=config.trace_capacity
+            )
+        self.transport = LiveTransport(
+            self.server,
+            {ServerId(s): a for s, a in config.addresses.items()},
+            handler=self._on_network,
+            tracer=self.recorder,
+            seed=config.seed,
+        )
+        await self.transport.start()
+        storage = None
+        if config.storage_dir is not None:
+            Path(config.storage_dir).mkdir(parents=True, exist_ok=True)
+            storage = ServerStorage(config.storage_dir)
+        # Shim construction *is* recovery when the directory holds a
+        # previous incarnation's data (same seam the simulated cluster
+        # uses for CrashFault restarts).
+        self.shim = Shim(
+            self.server,
+            self.protocol,
+            self.keyring,
+            self.transport,
+            config=GossipConfig(
+                fwd_retry_interval=config.fwd_retry_interval,
+                max_requests_per_block=config.max_requests_per_block,
+            ),
+            storage=storage,
+            tracer=self.recorder,
+        )
+        # Chain the DAG-insert hook: the shim installed its WAL append;
+        # the tick gate additionally needs a wakeup on every admission.
+        inner = self.shim.gossip.on_insert
+        progress = self._progress
+
+        def on_insert(block: object) -> None:
+            if inner is not None:
+                inner(block)  # type: ignore[arg-type]
+            progress.set()
+
+        self.shim.gossip.on_insert = on_insert  # type: ignore[assignment]
+        for src, envelope in self._pre_shim:
+            self._on_network(src, envelope)
+        self._pre_shim.clear()
+
+    # -- ingress ---------------------------------------------------------------
+
+    def _on_network(self, src: ServerId, envelope: Envelope) -> None:
+        shim = self.shim
+        if shim is None:
+            self._pre_shim.append((src, envelope))
+            return
+        if (
+            self.config.lockstep
+            and isinstance(envelope, BlockEnvelope)
+            and envelope.block.n != self.server
+            and envelope.block.k == shim.gossip.builder.next_seq
+        ):
+            # "From the future": its builder already seals the tick we
+            # have not sealed.  Hold it so our tick-t block references
+            # exactly the rounds the simulator's would.
+            self._held[str(envelope.block.ref)] = (src, envelope)
+            return
+        shim.on_network(src, envelope)
+
+    def _flush_held(self) -> None:
+        shim = self.shim
+        assert shim is not None
+        next_seq = shim.gossip.builder.next_seq
+        ready = [
+            ref
+            for ref, (_, envelope) in self._held.items()
+            if envelope.block.k < next_seq
+        ]
+        for ref in ready:
+            src, envelope = self._held.pop(ref)
+            shim.on_network(src, envelope)
+
+    # -- tick loop -------------------------------------------------------------
+
+    def _peers_at(self, k: int) -> bool:
+        shim = self.shim
+        assert shim is not None
+        for peer in self.servers:
+            if peer == self.server:
+                continue
+            tip = shim.dag.tip(peer)
+            if tip is None or tip.k < k:
+                return False
+        return True
+
+    async def _await_gate(self, tick: int) -> None:
+        """Block until every peer's chain reached ``tick - 1``."""
+        if not self.config.lockstep or tick == 0:
+            return
+        assert self._progress is not None and self._stop_event is not None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.tick_timeout
+        while not self._stop_event.is_set():
+            if self._peers_at(tick - 1):
+                return
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                self.gate_timeouts += 1
+                return
+            self._progress.clear()
+            if self._peers_at(tick - 1):
+                return
+            try:
+                # The event wakes us on every admission; the cap is a
+                # safety poll against a lost edge.
+                await asyncio.wait_for(
+                    self._progress.wait(), timeout=min(0.05, remaining)
+                )
+            except asyncio.TimeoutError:
+                pass
+
+    async def _tick_loop(self) -> None:
+        shim = self.shim
+        assert shim is not None and self._stop_event is not None
+        while (
+            shim.gossip.builder.next_seq < self.config.max_ticks
+            and not self._stop_event.is_set()
+        ):
+            tick = shim.gossip.builder.next_seq
+            await self._await_gate(tick)
+            if self._stop_event.is_set():
+                return
+            for label, index in self._schedule.get(tick, ()):
+                shim.request(Label(label), self.make_request(index))
+            shim.disseminate()
+            self._flush_held()
+            self._write_status()
+            if self.config.tick_interval > 0:
+                await asyncio.sleep(self.config.tick_interval)
+            else:
+                # Yield so reader tasks can run between back-to-back ticks.
+                await asyncio.sleep(0)
+
+    # -- completion ------------------------------------------------------------
+
+    def _complete(self) -> bool:
+        """All chains at final height here, all expected deliveries in."""
+        shim = self.shim
+        assert shim is not None
+        final = self.config.max_ticks - 1
+        for server in self.servers:
+            tip = shim.dag.tip(server)
+            if tip is None or tip.k < final:
+                return False
+        for label, minimum in self.config.expected:
+            if len(shim.indications_for(Label(label))) < minimum:
+                return False
+        return True
+
+    async def _settle(self) -> None:
+        assert self._progress is not None and self._stop_event is not None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.settle_timeout
+        while not self._stop_event.is_set() and loop.time() < deadline:
+            self._flush_held()
+            if self._complete():
+                return
+            self._progress.clear()
+            if self._complete():
+                return
+            try:
+                await asyncio.wait_for(self._progress.wait(), timeout=0.05)
+            except asyncio.TimeoutError:
+                pass
+
+    # -- background tasks ------------------------------------------------------
+
+    async def _beacon_loop(self) -> None:
+        """Re-broadcast our tip so restarted peers can chase the gap."""
+        shim, transport = self.shim, self.transport
+        assert shim is not None and transport is not None
+        while True:
+            await asyncio.sleep(self.config.beacon_interval)
+            tip = shim.dag.tip(self.server)
+            if tip is not None and not shim.dag.payload_pruned(tip.ref):
+                transport.broadcast(self.servers, BlockEnvelope(tip))
+
+    async def _status_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.status_interval)
+            self._write_status()
+
+    # -- status ----------------------------------------------------------------
+
+    def status(self) -> NodeStatus:
+        shim, transport = self.shim, self.transport
+        assert shim is not None and transport is not None
+        fingerprint = hashlib.sha256(
+            "\n".join(sorted(str(r) for r in shim.dag.refs)).encode("ascii")
+        ).hexdigest()[:16]
+        return NodeStatus(
+            server=str(self.server),
+            pid=os.getpid(),
+            tick=int(shim.gossip.builder.next_seq),
+            blocks=len(shim.dag),
+            fingerprint=fingerprint,
+            delivered={
+                label: len(shim.indications_for(Label(label)))
+                for label, _ in self.config.expected
+            },
+            ticks_done=shim.gossip.builder.next_seq >= self.config.max_ticks,
+            complete=self._complete(),
+            recovered=shim.recovery is not None,
+            gate_timeouts=self.gate_timeouts,
+            held=len(self._held),
+            wire_messages=transport.metrics.messages,
+            wire_bytes=transport.metrics.bytes,
+            dropped_overflow=transport.dropped_overflow,
+            reconnects=transport.reconnects,
+        )
+
+    def _write_status(self) -> None:
+        path = self.config.status_path
+        if path is None or self.shim is None:
+            return
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(
+            json.dumps(self.status().to_json_dict(), sort_keys=True),
+            encoding="utf-8",
+        )
+        os.replace(tmp, target)
+
+    def _export_trace(self) -> None:
+        if self.recorder is not None and self.config.trace_path is not None:
+            write_jsonl(self.recorder.snapshot(), self.config.trace_path)
+
+    # -- entrypoint ------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+        if self._progress is not None:
+            self._progress.set()
+
+    async def run(self) -> NodeStatus:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, self.request_stop)
+        await self._assemble()
+        assert self._stop_event is not None and self.transport is not None
+        background = [
+            loop.create_task(self._beacon_loop()),
+            loop.create_task(self._status_loop()),
+        ]
+        try:
+            await self._tick_loop()
+            await self._settle()
+            self._write_status()
+            # Stay up (serving FWD requests and beacons for peers that
+            # are still settling) until the launcher says stop.
+            await self._stop_event.wait()
+        finally:
+            for task in background:
+                task.cancel()
+            if background:
+                await asyncio.gather(*background, return_exceptions=True)
+            self._export_trace()
+            final = self.status()
+            self._write_status()
+            await self.transport.stop()
+        return final
+
+
+def run_node(
+    config: NodeConfig,
+    protocol: ProtocolSpec,
+    make_request: Callable[[int], Request],
+) -> NodeStatus:
+    """Synchronous entrypoint: run one node to completion.
+
+    The event loop is created and destroyed entirely inside this call,
+    so callers (``repro.node``, tests) never import asyncio.
+    """
+    return asyncio.run(LiveNode(config, protocol, make_request).run())

@@ -124,6 +124,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             scenario,
             storage_root=_fresh_storage_root(args.storage_dir, name),
             trace_dir=trace_dir,
+            live=args.live,
         )
         results.append(result)
         if not args.json:
@@ -137,7 +138,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                 sort_keys=True,
             )
         )
-    failed = [r for r in results if r.stopped_by == "max-rounds"]
+    failed = [
+        r for r in results if r.stopped_by in ("max-rounds", "live-timeout")
+    ]
     return 1 if failed else 0
 
 
@@ -228,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export per-server flight-recorder traces to "
         "<trace-dir>/<scenario>/<server>.jsonl (forces tracing on)",
+    )
+    p_run.add_argument(
+        "--live",
+        action="store_true",
+        help="execute on a live multi-process cluster (one OS process "
+        "per server over unix-domain sockets) instead of the simulator; "
+        "fault-free scenarios only",
     )
     p_run.set_defaults(func=cmd_run)
 

@@ -290,6 +290,24 @@ def _flight_recorder(smoke: bool) -> Scenario:
     )
 
 
+def _live_smoke(smoke: bool) -> Scenario:
+    return Scenario(
+        name="live-smoke",
+        protocol="brb",
+        description="The live-transport twin scenario: fault-free BRB "
+        "with tracing on and a fixed tick budget, runnable both on the "
+        "simulator and (``run --live``) as four OS processes over "
+        "unix-domain sockets.  Same document, same workload schedule, "
+        "same per-builder chains — ``trace diff --mode chains`` "
+        "between the two arms is silent.",
+        topology=Topology(n=4, trace=True),
+        workload=OpenLoopWorkload(rate=1 if smoke else 2, rounds=2),
+        stop=RoundsElapsed(6 if smoke else 8),
+        probes=("total-blocks", "delivered"),
+        max_rounds=6 if smoke else 8,
+    )
+
+
 def _offline_interpretation(smoke: bool) -> Scenario:
     return Scenario(
         name="offline-interpretation",
@@ -318,6 +336,7 @@ REGISTRY: dict[str, ScenarioBuilder] = {
     "cow-state-growth": _cow_state_growth,
     "flight-recorder": _flight_recorder,
     "offline-interpretation": _offline_interpretation,
+    "live-smoke": _live_smoke,
 }
 
 

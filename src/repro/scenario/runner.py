@@ -24,6 +24,7 @@ from pathlib import Path
 
 from repro.errors import ScenarioError
 from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.runtime.snapshots import WireSnapshot
 from repro.storage.blockstore import StorageConfig
 from repro.scenario.probes import resolve_probe
 from repro.scenario.result import LatencyStats, ScenarioResult
@@ -48,6 +49,15 @@ class ScenarioRunner:
         ``topology.trace``) and every server's flight-recorder events
         are exported to ``<trace_dir>/<server>.jsonl`` at the end of
         :meth:`run`.  Same scenario + seed ⇒ byte-identical files.
+    live:
+        When true, :meth:`run` executes the scenario on a
+        :class:`~repro.runtime.live.cluster.LiveCluster` — one OS
+        process per server over unix-domain sockets — instead of the
+        virtual-time simulator.  Only the fault-free subset of the
+        scenario language is supported (see
+        :func:`~repro.scenario.live.compile_live_configs`), and the
+        result carries wall-clock figures rather than virtual time.
+        No :attr:`cluster` is built in this mode.
 
     After :meth:`run` the :attr:`cluster` stays accessible, so examples
     and tests can inspect DAGs, shims and recovery reports beyond what
@@ -61,17 +71,31 @@ class ScenarioRunner:
         scenario: Scenario,
         storage_root: str | Path | None = None,
         trace_dir: str | Path | None = None,
+        live: bool = False,
     ) -> None:
         self.scenario = scenario
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.live = live
         self.entry = resolve_protocol(scenario.protocol)
+        self._storage_root = Path(storage_root) if storage_root else None
+        self._owns_storage = False
+        self.rounds_run = 0
+        self.result: ScenarioResult | None = None
+        self._probe_series: dict[str, list[float]] = {
+            name: [] for name in scenario.probes
+        }
+        #: Raw :class:`~repro.runtime.live.cluster.LiveRunResult` of the
+        #: last live run (benchmarks read per-node statuses from it).
+        self.live_result = None
+        if live:
+            # Live runs spawn subprocesses; nothing to assemble here.
+            self.cluster = None  # type: ignore[assignment]
+            return
         self.compiled = scenario.faults.compile(
             scenario.topology.servers(), scenario.topology.round_duration
         )
-        self._storage_root = Path(storage_root) if storage_root else None
-        self._owns_storage = False
         try:
-            self.cluster: Cluster = self._build_cluster()
+            self.cluster = self._build_cluster()
         except BaseException:
             # Don't leak the temp root we just created for this run.
             if self._owns_storage and self._storage_root is not None:
@@ -83,11 +107,6 @@ class ScenarioRunner:
             # Derived from the scenario seed alone: replays identically.
             rng=random.Random(scenario.seed * 1_000_003 + 17),
         )
-        self.rounds_run = 0
-        self.result: ScenarioResult | None = None
-        self._probe_series: dict[str, list[float]] = {
-            name: [] for name in scenario.probes
-        }
 
     # -- construction ----------------------------------------------------------
 
@@ -182,6 +201,8 @@ class ScenarioRunner:
 
     def run(self) -> ScenarioResult:
         """Drive the scenario to its stop condition and build the result."""
+        if self.live:
+            return self._run_live()
         scenario = self.scenario
         start_wall = time.perf_counter()
         stopped_by = "stop-condition"
@@ -213,6 +234,76 @@ class ScenarioRunner:
                 for shim in self.cluster.shims.values():
                     shim.storage = None
                 shutil.rmtree(self._storage_root, ignore_errors=True)
+
+    # -- live execution --------------------------------------------------------
+
+    def _run_live(self) -> ScenarioResult:
+        """Execute the scenario on a multi-process live cluster.
+
+        The same declarative document, lowered onto per-server
+        :class:`~repro.runtime.live.node.NodeConfig` values and run as
+        one OS process per server over unix-domain sockets.  The result
+        mirrors the simulated shape where it can (requests, wire bytes,
+        blocks, convergence); virtual-time figures stay zero and
+        ``stopped_by`` reports ``live-complete`` / ``live-timeout``.
+        """
+        from repro.runtime.live.cluster import LiveCluster
+        from repro.scenario.live import (
+            compile_live_configs,
+            compile_workload_schedule,
+            live_rounds,
+        )
+
+        scenario = self.scenario
+        rounds = live_rounds(scenario.stop, scenario.max_rounds)
+        schedules, expected = compile_workload_schedule(scenario, rounds)
+        issued = sum(len(entries) for entries in schedules.values())
+        run_dir = Path(tempfile.mkdtemp(prefix=f"live-{scenario.name}-"))
+        try:
+            configs = compile_live_configs(
+                scenario,
+                run_dir,
+                trace_dir=self.trace_dir,
+                storage_root=self._storage_root,
+            )
+            some = next(iter(configs.values()))
+            # Worst case every tick stalls to its gate timeout, then the
+            # fleet still needs the settle window; pad for process spawn.
+            timeout = 15.0 + rounds * some.tick_timeout + some.settle_timeout
+            self.live_result = LiveCluster(configs, run_dir).run(timeout=timeout)
+        finally:
+            # Sockets, configs, status files (and, when no trace_dir
+            # was given, the default trace output) are scratch; an
+            # explicit trace_dir lives outside run_dir and survives.
+            shutil.rmtree(run_dir, ignore_errors=True)
+        live = self.live_result
+        delivered_map = live.delivered_min()
+        delivered = sum(
+            min(delivered_map.get(label, 0), minimum)
+            for label, minimum in expected
+        )
+        statuses = live.statuses.values()
+        wire = WireSnapshot(
+            messages=sum(s.wire_messages for s in statuses),
+            bytes=sum(s.wire_bytes for s in statuses),
+            delivered=sum(s.wire_messages for s in statuses),
+        )
+        self.rounds_run = rounds
+        self.result = ScenarioResult(
+            scenario=scenario.name,
+            protocol=scenario.protocol,
+            seed=scenario.seed,
+            rounds_run=rounds,
+            stopped_by="live-complete" if live.converged else "live-timeout",
+            converged=live.converged,
+            requests_issued=issued,
+            requests_delivered=delivered,
+            wire=wire,
+            total_blocks=max((s.blocks for s in statuses), default=0),
+            restarts=sum(s.recovered for s in statuses),
+            wall_seconds=round(live.wall_seconds, 6),
+        )
+        return self.result
 
     # -- result assembly -------------------------------------------------------
 
@@ -268,8 +359,9 @@ def run_scenario(
     scenario: Scenario,
     storage_root: str | Path | None = None,
     trace_dir: str | Path | None = None,
+    live: bool = False,
 ) -> ScenarioResult:
     """Build a runner, run it, return the result (the one-liner API)."""
     return ScenarioRunner(
-        scenario, storage_root=storage_root, trace_dir=trace_dir
+        scenario, storage_root=storage_root, trace_dir=trace_dir, live=live
     ).run()

@@ -126,12 +126,20 @@ class TestBlockBuilder:
         block = builder.seal([], self._sign_fn(ring, S1))
         assert block.preds.count(other.ref) == 1
 
-    def test_pred_order_preserved(self, ring):
+    def test_pred_order_is_canonical_at_seal(self, ring):
+        # preds order is part of ref(B), and arrival order differs
+        # between transports (the simulator delivers deterministically,
+        # sockets don't) — so seal() orders canonically: everything
+        # sorted at k=0, parent first then the rest sorted afterwards.
         builder = BlockBuilder(S1)
         builder.add_pred("ref-b")
         builder.add_pred("ref-a")
-        block = builder.seal([], self._sign_fn(ring, S1))
-        assert block.preds == ("ref-b", "ref-a")
+        first = builder.seal([], self._sign_fn(ring, S1))
+        assert first.preds == ("ref-a", "ref-b")
+        builder.add_pred("ref-z")
+        builder.add_pred("ref-c")
+        second = builder.seal([], self._sign_fn(ring, S1))
+        assert second.preds == (first.ref, "ref-c", "ref-z")
 
     def test_sealed_block_signature_verifies(self, ring):
         builder = BlockBuilder(S1)

@@ -422,6 +422,37 @@ class TestNoThreadNoAsyncio:
         report = lint("import heapq\nimport itertools\n")
         assert rules_of(report) == []
 
+    def test_asyncio_allowed_inside_live_transport(self):
+        report = lint(
+            "import asyncio\n",
+            module="repro.net.live.transport",
+            path="src/repro/net/live/transport.py",
+        )
+        assert rules_of(report) == []
+
+    def test_asyncio_allowed_inside_live_runtime(self):
+        report = lint(
+            "import asyncio\n",
+            module="repro.runtime.live.node",
+            path="src/repro/runtime/live/node.py",
+        )
+        assert rules_of(report) == []
+
+    def test_asyncio_still_fires_everywhere_else(self):
+        # The seam is exactly repro.net.live* / repro.runtime.live*:
+        # an event loop anywhere else in the tree — including right
+        # next to the seam — still fails, with no line suppression.
+        for module, path in [
+            ("repro.gossip.gossip", "src/repro/gossip/gossip.py"),
+            ("repro.net.simulator", "src/repro/net/simulator.py"),
+            ("repro.runtime.cluster", "src/repro/runtime/cluster.py"),
+            ("repro.node.__main__", "src/repro/node/__main__.py"),
+            # Prefix match is on module boundaries, not substrings.
+            ("repro.net.liveish", "src/repro/net/liveish.py"),
+        ]:
+            report = lint("import asyncio\n", module=module, path=path)
+            assert "no-thread-no-asyncio" in rules_of(report), module
+
 
 # ------------------------------------------------------- suppression protocol
 
