@@ -31,7 +31,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from bench_util import emit, reset
+from bench_util import emit, emit_json, reset
 
 from repro.obs.export import read_jsonl
 from repro.obs.lifecycle import LifecycleIndex
@@ -55,6 +55,7 @@ def _percentiles(samples: list[float]) -> dict[str, float]:
         "count": len(values),
         "p50": round(at(0.50), 6),
         "p90": round(at(0.90), 6),
+        "p99": round(at(0.99), 6),
         "max": round(values[-1], 6),
     }
 
@@ -137,6 +138,21 @@ def run(smoke: bool = False) -> dict[str, object]:
     assert live["total_blocks"] == sim["total_blocks"]
     stage = live["seal_to_first_receive_wall_s"]
     assert stage["count"] > 0, "live traces produced no transport samples"  # type: ignore[index]
+    emit_json(
+        EXPERIMENT,
+        scenario="live-smoke" + (" (smoke)" if smoke else ""),
+        metrics={
+            "sim_wire_bytes": sim["wire_bytes"],
+            "live_wire_bytes": live["wire_bytes"],
+            "total_blocks": live["total_blocks"],
+            "requests_delivered": live["requests_delivered"],
+        },
+        wall_clock={
+            "sim_wall_seconds": sim["wall_seconds"],
+            "live_wall_seconds": live["wall_seconds"],
+            "live_seal_to_first_receive_s": stage,
+        },
+    )
     return report
 
 

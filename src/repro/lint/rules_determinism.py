@@ -32,18 +32,22 @@ class NoWallClock(Rule):
     deterministic; wall time is not, and PR 6's guarantee is that
     traces stay byte-identical whether or not timing is on.  The rule
     bans importing ``time``/``datetime`` at all: sanctioned wall-clock
-    use imports ``perf_counter`` *from* ``repro.obs.timers``, the one
-    greppable conduit whose use the tracing-overhead CI guard audits.
+    use imports ``perf_counter`` *from* ``repro.obs.timers`` or
+    ``repro.obs.metrics`` — the greppable conduits whose use the
+    tracing-overhead CI guard audits (``metrics`` is the live-arm
+    telemetry registry, also kept strictly outside trace identity).
     The scenario runner is the other allowed module — it reports the
     run's wall duration, which lives outside trace identity by
     construction.
     """
 
     name = "no-wall-clock"
-    summary = "time/datetime confined to repro.obs.timers + scenario runner"
+    summary = "time/datetime confined to repro.obs.timers/metrics + scenario runner"
 
     #: Modules allowed to touch the wall clock directly.
-    ALLOWED_MODULES = frozenset({"repro.obs.timers", "repro.scenario.runner"})
+    ALLOWED_MODULES = frozenset(
+        {"repro.obs.timers", "repro.obs.metrics", "repro.scenario.runner"}
+    )
     #: Clock-reading (or clock-dependent) names in the ``time`` module.
     CLOCK_NAMES = frozenset(
         {

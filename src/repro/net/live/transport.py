@@ -26,6 +26,12 @@ for free:
 * **Flight-recorder wire events.**  ``wire-send``/``wire-recv`` are
   emitted with the same fields as the simulator's, so the lifecycle
   index and ``trace diff`` work identically on live traces.
+* **Per-peer wall-clock metrics.**  Queue depth/high-water, frames and
+  bytes in/out, oldest-drops, dial retries vs. attributable reconnects
+  (``conn-lost`` → re-establishment), handshake latency, and decoder
+  damage (resyncs, CRC failures) land in a
+  :class:`~repro.obs.metrics.MetricsRegistry` — never in the trace, so
+  enabling metrics cannot change a trace's bytes.
 
 The event loop never leaks past this module's boundary: gossip calls
 ``send``/``schedule`` synchronously, and inbound frames call the
@@ -52,6 +58,7 @@ from repro.net.live.framing import (
 from repro.net.message import Envelope
 from repro.net.simulator import WireMetrics, _envelope_ref
 from repro.net.transport import Transport
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_RECORDER
 from repro.types import ServerId
 
@@ -59,6 +66,55 @@ from repro.types import ServerId
 Handler = Callable[[ServerId, Envelope], None]
 
 _CONNECT_ERRORS = (ConnectionError, OSError, asyncio.IncompleteReadError)
+
+
+class _PeerMeters:
+    """Pre-resolved egress instruments for one peer (hot-path cheap)."""
+
+    __slots__ = (
+        "queue_depth",
+        "queue_drops",
+        "frames_out",
+        "bytes_out",
+        "connect_retries",
+        "reconnects",
+        "conn_lost",
+        "handshake",
+    )
+
+    def __init__(self, registry: MetricsRegistry, peer: ServerId) -> None:
+        p = str(peer)
+        self.queue_depth = registry.gauge("transport.queue-depth", peer=p)
+        self.queue_drops = registry.counter("transport.queue-drops", peer=p)
+        self.frames_out = registry.counter("transport.frames-out", peer=p)
+        self.bytes_out = registry.counter("transport.bytes-out", peer=p)
+        self.connect_retries = registry.counter("transport.connect-retries", peer=p)
+        self.reconnects = registry.counter("transport.reconnects", peer=p)
+        self.conn_lost = registry.counter("transport.conn-lost", peer=p)
+        self.handshake = registry.histogram("transport.handshake", peer=p)
+
+
+class _IngressMeters:
+    """Pre-resolved ingress instruments for one source (or ``unknown``)."""
+
+    __slots__ = (
+        "frames_in",
+        "bytes_in",
+        "resyncs",
+        "crc_failures",
+        "decode_failures",
+        "bytes_skipped",
+    )
+
+    def __init__(self, registry: MetricsRegistry, src: str) -> None:
+        self.frames_in = registry.counter("transport.frames-in", peer=src)
+        self.bytes_in = registry.counter("transport.bytes-in", peer=src)
+        self.resyncs = registry.counter("transport.resyncs", peer=src)
+        self.crc_failures = registry.counter("transport.crc-failures", peer=src)
+        self.decode_failures = registry.counter(
+            "transport.decode-failures", peer=src
+        )
+        self.bytes_skipped = registry.counter("transport.bytes-skipped", peer=src)
 
 
 def parse_address(address: str) -> tuple[str, object]:
@@ -99,6 +155,10 @@ class LiveTransport(Transport):
         after construction (the shim is built around the transport).
     tracer:
         Optional flight recorder for ``wire-send``/``wire-recv``.
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`;
+        one is created per transport when not given.  Metrics live
+        strictly outside trace identity.
     seed:
         Seeds the per-link backoff jitter.
     max_queue:
@@ -111,6 +171,7 @@ class LiveTransport(Transport):
         addresses: Mapping[ServerId, str],
         handler: Handler | None = None,
         tracer: object | None = None,
+        metrics: MetricsRegistry | None = None,
         *,
         seed: int = 0,
         max_queue: int = 4096,
@@ -131,10 +192,18 @@ class LiveTransport(Transport):
         self.reconnect_floor = reconnect_floor
         self.reconnect_ceiling = reconnect_ceiling
         self.metrics = WireMetrics()
+        self.live_metrics = (
+            metrics if metrics is not None else MetricsRegistry(server=str(self_id))
+        )
         self.delivered_count = 0
         self.dropped_overflow = 0
         self.reconnects = 0
         self.frames_damaged = 0
+        #: Set when an orderly shutdown begins: connection losses during
+        #: teardown are expected and must not count as disturbances.
+        self.closing = False
+        self._peer_meters: dict[ServerId, _PeerMeters] = {}
+        self._ingress_meters: dict[str, _IngressMeters] = {}
         self._queues: dict[ServerId, deque[Envelope]] = {}
         self._wakeups: dict[ServerId, asyncio.Event] = {}
         self._writers: dict[ServerId, asyncio.StreamWriter] = {}
@@ -176,10 +245,13 @@ class LiveTransport(Transport):
         queue = self._queues.get(dst)
         if queue is None:
             raise NetworkError(f"unknown destination: {dst!r}")
+        meters = self._egress(dst)
         if len(queue) >= self.max_queue:
             queue.popleft()
             self.dropped_overflow += 1
+            meters.queue_drops.inc()
         queue.append(envelope)
+        meters.queue_depth.set(len(queue))
         self._wakeups[dst].set()
 
     def schedule(self, delay: float, action: Callable[[], None]) -> None:
@@ -213,10 +285,12 @@ class LiveTransport(Transport):
                 continue
             self._queues[peer] = deque()
             self._wakeups[peer] = asyncio.Event()
+            self._egress(peer)
             self._tasks.append(self._loop.create_task(self._pump(peer)))
 
     async def stop(self) -> None:
         """Cancel pumps, close the listener and every open connection."""
+        self.closing = True
         for task in self._tasks:
             task.cancel()
         if self._tasks:
@@ -233,6 +307,24 @@ class LiveTransport(Transport):
     def queued(self, dst: ServerId) -> int:
         """Envelopes waiting in ``dst``'s outbound queue."""
         return len(self._queues.get(dst, ()))
+
+    # -- metric handles --------------------------------------------------------
+
+    def _egress(self, peer: ServerId) -> _PeerMeters:
+        meters = self._peer_meters.get(peer)
+        if meters is None:
+            meters = self._peer_meters[peer] = _PeerMeters(
+                self.live_metrics, peer
+            )
+        return meters
+
+    def _ingress(self, src: str) -> _IngressMeters:
+        meters = self._ingress_meters.get(src)
+        if meters is None:
+            meters = self._ingress_meters[src] = _IngressMeters(
+                self.live_metrics, src
+            )
+        return meters
 
     # -- ingress ---------------------------------------------------------------
 
@@ -255,20 +347,40 @@ class LiveTransport(Transport):
         """One inbound connection: Hello first, then envelopes."""
         decoder = FrameDecoder(max_frame_bytes=self.max_frame_bytes)
         src: ServerId | None = None
+        meters = self._ingress("unknown")
+        damage_seen = (0, 0, 0, 0)
         try:
             while True:
                 chunk = await reader.read(65536)
                 if not chunk:
                     break
+                meters.bytes_in.inc(len(chunk))
                 for value in decoder.feed(chunk):
                     if isinstance(value, Hello):
                         src = ServerId(value.server)
+                        meters = self._ingress(str(src))
                     elif src is not None and isinstance(value, Envelope):
+                        meters.frames_in.inc()
                         self._deliver(src, value)
                     else:
                         # Envelope before Hello, or a non-envelope
                         # value: attributable to nobody — drop it.
                         self.frames_damaged += 1
+                # Decoder damage stats are cumulative per connection;
+                # attribute this chunk's delta to the current source.
+                stats = decoder.stats
+                now_seen = (
+                    stats.resyncs,
+                    stats.crc_failures,
+                    stats.decode_failures,
+                    stats.bytes_skipped,
+                )
+                if now_seen != damage_seen:
+                    meters.resyncs.inc(now_seen[0] - damage_seen[0])
+                    meters.crc_failures.inc(now_seen[1] - damage_seen[1])
+                    meters.decode_failures.inc(now_seen[2] - damage_seen[2])
+                    meters.bytes_skipped.inc(now_seen[3] - damage_seen[3])
+                    damage_seen = now_seen
         except asyncio.CancelledError:
             # Loop shutdown (asyncio.run cancels the handler tasks the
             # listener spawned): finish quietly so the streams machinery
@@ -301,17 +413,29 @@ class LiveTransport(Transport):
         backoff = self.reconnect_floor
         queue = self._queues[peer]
         wakeup = self._wakeups[peer]
+        meters = self._egress(peer)
         writer: asyncio.StreamWriter | None = None
+        lost_established = False
+        loop = asyncio.get_running_loop()
         try:
             while True:
                 if writer is None:
+                    dial_started = loop.time()
                     try:
                         writer = await self._connect(peer)
                     except _CONNECT_ERRORS:
                         self.reconnects += 1
+                        meters.connect_retries.inc()
                         await asyncio.sleep(backoff * (0.5 + rng.random()))
                         backoff = min(backoff * 2, self.reconnect_ceiling)
                         continue
+                    meters.handshake.observe(loop.time() - dial_started)
+                    if lost_established:
+                        # Re-established after losing a live connection —
+                        # the attributable "reconnect" (dial retries
+                        # during the initial stampede don't count).
+                        meters.reconnects.inc()
+                        lost_established = False
                     self._writers[peer] = writer
                     backoff = self.reconnect_floor
                 if not queue:
@@ -320,17 +444,24 @@ class LiveTransport(Transport):
                         await wakeup.wait()
                     continue
                 envelope = queue[0]
+                frame = encode_frame(envelope)
                 try:
-                    writer.write(encode_frame(envelope))
+                    writer.write(frame)
                     await writer.drain()
                 except _CONNECT_ERRORS:
                     self._drop_writer(peer)
                     writer = None
+                    if not self.closing:
+                        meters.conn_lost.inc()
+                        lost_established = True
                     continue
                 # Popped only after a successful write: a write that
                 # died mid-frame is retried on the next connection (the
                 # decoder on the far side resyncs past the torn frame).
                 queue.popleft()
+                meters.frames_out.inc()
+                meters.bytes_out.inc(len(frame))
+                meters.queue_depth.set(len(queue))
         finally:
             self._drop_writer(peer)
 

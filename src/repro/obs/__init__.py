@@ -13,6 +13,8 @@ that stream:
   seal→receive→validate→interpret latencies with percentile summaries.
 - :mod:`repro.obs.timers` — wall-clock hot-path histograms, kept
   strictly *outside* trace identity so traces stay seed-deterministic.
+- :mod:`repro.obs.metrics` — typed live-arm metrics (counters, gauges,
+  log2 histograms) with associative snapshot merge and canonical JSONL.
 - :mod:`repro.obs.diverge` — first-divergence finder over two traces.
 """
 
@@ -24,6 +26,14 @@ from repro.obs.diverge import (
 )
 from repro.obs.export import read_jsonl, write_jsonl
 from repro.obs.lifecycle import LifecycleIndex, LifecycleStats, StageSummary
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricPoint,
+    MetricsRegistry,
+    MetricsReport,
+    MetricsSnapshot,
+)
 from repro.obs.timers import HotPathTimers
 from repro.obs.trace import (
     NULL_RECORDER,
@@ -36,10 +46,16 @@ from repro.obs.trace import (
 __all__ = [
     "NULL_RECORDER",
     "ClusterTracer",
+    "Counter",
     "Divergence",
+    "Gauge",
     "HotPathTimers",
     "LifecycleIndex",
     "LifecycleStats",
+    "MetricPoint",
+    "MetricsRegistry",
+    "MetricsReport",
+    "MetricsSnapshot",
     "NullRecorder",
     "StageSummary",
     "TraceEvent",

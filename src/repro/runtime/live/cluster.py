@@ -9,9 +9,14 @@ the storage layer's recovery path is specified against.
 
 ``kill(server)`` / ``start(server)`` expose that crash surface to
 tests (the live twin of the simulated ``CrashPlan``); ``run()`` is the
-happy path: start everyone, wait until every status reports
-``complete`` with matching DAG fingerprints, then SIGTERM the fleet
-(nodes export their flight-recorder traces on the way down).
+happy path: start everyone, drive the compiled crash schedule (if
+any), wait until every status reports ``complete`` with matching DAG
+fingerprints, then SIGTERM the fleet (nodes export their
+flight-recorder traces and final metrics snapshots on the way down).
+
+Polling is cheap twice over: status files are re-parsed only when
+their stat signature changes, and metrics files are re-read only when
+the ``metrics_seq`` published in the status file advances.
 """
 
 from __future__ import annotations
@@ -22,10 +27,24 @@ import os
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Sequence
 
 from repro.errors import NetworkError
+from repro.obs.metrics import MetricsError, MetricsReport, MetricsSnapshot
 from repro.runtime.live.node import NodeConfig, NodeStatus
 from repro.types import ServerId
+
+
+@dataclass(frozen=True)
+class LiveCrash:
+    """One compiled crash event: SIGKILL ``server`` once its own tick
+    reaches ``kill_at_tick``; respawn after ``down_seconds`` (never, if
+    ``None``).  The wall-clock downtime stands in for the simulator's
+    virtual crash→restart round span."""
+
+    server: str
+    kill_at_tick: int
+    down_seconds: float | None = None
 
 
 @dataclass
@@ -36,6 +55,8 @@ class LiveRunResult:
     wall_seconds: float
     statuses: dict[str, NodeStatus] = field(default_factory=dict)
     trace_paths: dict[str, str] = field(default_factory=dict)
+    metrics: MetricsReport | None = None
+    crashes: int = 0
 
     @property
     def fingerprints(self) -> dict[str, str]:
@@ -59,6 +80,7 @@ class LiveCluster:
         run_dir: str | Path,
         *,
         poll_interval: float = 0.1,
+        crashes: Sequence[LiveCrash] = (),
     ) -> None:
         if not configs:
             raise NetworkError("live cluster needs at least one server")
@@ -66,8 +88,22 @@ class LiveCluster:
         self.run_dir = Path(run_dir)
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self.poll_interval = poll_interval
+        self.crashes = tuple(crashes)
+        for crash in self.crashes:
+            if ServerId(crash.server) not in self.configs:
+                raise NetworkError(f"crash names unknown server {crash.server!r}")
         self.processes: dict[ServerId, asyncio.subprocess.Process] = {}
         self.restarts = 0
+        self.crashes_performed = 0
+        #: Status files parsed (vs. polls answered from the stat cache).
+        self.status_parses = 0
+        self.status_polls = 0
+        #: Metrics files read (vs. scrapes skipped on unchanged seq).
+        self.metrics_reads = 0
+        self.metrics_skips = 0
+        self._status_cache: dict[ServerId, tuple[tuple[int, int], NodeStatus]] = {}
+        self._metrics_cache: dict[ServerId, tuple[int, MetricsSnapshot]] = {}
+        self._killed_at: dict[str, float] = {}
         for server, config in self.configs.items():
             if config.status_path is None:
                 raise NetworkError(f"node {server} has no status_path")
@@ -141,14 +177,29 @@ class LiveCluster:
     def status(self, server: ServerId) -> NodeStatus | None:
         path = self.configs[server].status_path
         assert path is not None
+        self.status_polls += 1
+        try:
+            stat = os.stat(path)
+        except OSError:
+            return None
+        # Nodes rewrite the file atomically (tmp + rename), so an
+        # unchanged (mtime_ns, size) signature means unchanged content —
+        # answer from the cache without re-reading or re-parsing.
+        signature = (stat.st_mtime_ns, stat.st_size)
+        cached = self._status_cache.get(server)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
         try:
             text = Path(path).read_text(encoding="utf-8")
         except OSError:
             return None
         try:
-            return NodeStatus.from_json_dict(json.loads(text))
+            status = NodeStatus.from_json_dict(json.loads(text))
         except (ValueError, TypeError):
             return None  # torn read of a non-atomic filesystem
+        self.status_parses += 1
+        self._status_cache[server] = (signature, status)
+        return status
 
     def statuses(self) -> dict[str, NodeStatus]:
         result: dict[str, NodeStatus] = {}
@@ -157,6 +208,49 @@ class LiveCluster:
             if status is not None:
                 result[str(server)] = status
         return result
+
+    # -- metrics ---------------------------------------------------------------
+
+    def scrape_metrics(self) -> dict[str, MetricsSnapshot]:
+        """Read every node's metrics JSONL, skipping unchanged files.
+
+        The status file's ``metrics_seq`` names the snapshot version on
+        disk; a scrape re-reads a node's file only when that seq moved
+        past the cached one.
+        """
+        snapshots: dict[str, MetricsSnapshot] = {}
+        for server, config in self.configs.items():
+            if config.metrics_path is None:
+                continue
+            status = self.status(server)
+            published = status.metrics_seq if status is not None else None
+            cached = self._metrics_cache.get(server)
+            if (
+                cached is not None
+                and published is not None
+                and cached[0] >= published
+            ):
+                self.metrics_skips += 1
+                snapshots[str(server)] = cached[1]
+                continue
+            try:
+                snapshot = MetricsSnapshot.read_jsonl(config.metrics_path)
+            except (OSError, MetricsError):
+                if cached is not None:
+                    snapshots[str(server)] = cached[1]
+                continue
+            self.metrics_reads += 1
+            self._metrics_cache[server] = (snapshot.seq, snapshot)
+            snapshots[str(server)] = snapshot
+        return snapshots
+
+    def metrics_report(self) -> MetricsReport | None:
+        """Cluster-wide merge of the latest scrape (``None`` if nothing
+        has been exported yet)."""
+        snapshots = self.scrape_metrics()
+        if not snapshots:
+            return None
+        return MetricsReport.from_snapshots(snapshots)
 
     def _all_complete(self) -> bool:
         statuses = self.statuses()
@@ -171,10 +265,41 @@ class LiveCluster:
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
         while loop.time() < deadline:
+            await self._drive_crashes()
             if self._all_complete():
                 return True
             await asyncio.sleep(self.poll_interval)
         return self._all_complete()
+
+    # -- crash schedule --------------------------------------------------------
+
+    async def _drive_crashes(self) -> None:
+        """Advance the compiled crash schedule against live statuses."""
+        loop = asyncio.get_running_loop()
+        for crash in self.crashes:
+            server = ServerId(crash.server)
+            if crash.server not in self._killed_at:
+                status = self.status(server)
+                process = self.processes.get(server)
+                if (
+                    status is not None
+                    and status.tick >= crash.kill_at_tick
+                    and process is not None
+                    and process.returncode is None
+                ):
+                    self.kill(server)
+                    await process.wait()
+                    self._killed_at[crash.server] = loop.time()
+                    self.crashes_performed += 1
+            elif crash.down_seconds is not None:
+                process = self.processes.get(server)
+                if (
+                    process is not None
+                    and process.returncode is not None
+                    and loop.time() - self._killed_at[crash.server]
+                    >= crash.down_seconds
+                ):
+                    await self.start(server)
 
     # -- the happy path --------------------------------------------------------
 
@@ -195,6 +320,10 @@ class LiveCluster:
                 for server, config in self.configs.items()
                 if config.trace_path is not None
             },
+            # Final snapshots: every node wrote metrics one last time on
+            # the way down, bumping its seq past anything cached.
+            metrics=self.metrics_report(),
+            crashes=self.crashes_performed,
         )
 
     def run(self, timeout: float = 60.0) -> LiveRunResult:

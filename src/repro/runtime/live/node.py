@@ -45,6 +45,7 @@ from repro.gossip.module import GossipConfig
 from repro.net.live.transport import LiveTransport
 from repro.net.message import BlockEnvelope, Envelope
 from repro.obs.export import write_jsonl
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceRecorder
 from repro.protocols.base import ProtocolSpec
 from repro.shim.shim import Shim
@@ -85,6 +86,8 @@ class NodeConfig:
     storage_dir: str | None = None
     trace_path: str | None = None
     status_path: str | None = None
+    #: Canonical-JSONL metrics snapshot, rewritten beside the status file.
+    metrics_path: str | None = None
     trace_capacity: int = 262144
 
     def to_json_dict(self) -> dict[str, object]:
@@ -108,6 +111,7 @@ class NodeConfig:
             "storage_dir": self.storage_dir,
             "trace_path": self.trace_path,
             "status_path": self.status_path,
+            "metrics_path": self.metrics_path,
             "trace_capacity": self.trace_capacity,
         }
 
@@ -153,6 +157,9 @@ class NodeStatus:
     wire_bytes: int = 0
     dropped_overflow: int = 0
     reconnects: int = 0
+    #: Monotonic version of the metrics snapshot published beside this
+    #: status — pollers and scrapers skip files whose seq is unchanged.
+    metrics_seq: int = 0
 
     def to_json_dict(self) -> dict[str, object]:
         return dict(self.__dict__, delivered=dict(self.delivered))
@@ -181,6 +188,15 @@ class LiveNode:
         self.recorder: TraceRecorder | None = None
         self.shim: Shim | None = None
         self.transport: LiveTransport | None = None
+        #: One registry per node; the transport and storage share it so
+        #: a single snapshot covers every live-arm layer.
+        self.metrics = MetricsRegistry(server=config.server)
+        self._metrics_seq = 0
+        self._gate_wait = self.metrics.histogram("node.gate-wait")
+        self._seal_to_wire = self.metrics.histogram("node.seal-to-wire-out")
+        self._held_gauge = self.metrics.gauge("node.ingress-held")
+        self._beacon_rounds = self.metrics.counter("node.beacon-rounds")
+        self._gate_timeout_count = self.metrics.counter("node.gate-timeouts")
         #: Blocks held at the lockstep ingress gate, keyed by ref.
         self._held: dict[str, tuple[ServerId, BlockEnvelope]] = {}
         #: Ingress that arrived before the shim existed (a fast peer
@@ -208,6 +224,7 @@ class LiveNode:
             {ServerId(s): a for s, a in config.addresses.items()},
             handler=self._on_network,
             tracer=self.recorder,
+            metrics=self.metrics,
             seed=config.seed,
         )
         await self.transport.start()
@@ -215,6 +232,7 @@ class LiveNode:
         if config.storage_dir is not None:
             Path(config.storage_dir).mkdir(parents=True, exist_ok=True)
             storage = ServerStorage(config.storage_dir)
+            storage.live_metrics = self.metrics
         # Shim construction *is* recovery when the directory holds a
         # previous incarnation's data (same seam the simulated cluster
         # uses for CrashFault restarts).
@@ -262,6 +280,7 @@ class LiveNode:
             # have not sealed.  Hold it so our tick-t block references
             # exactly the rounds the simulator's would.
             self._held[str(envelope.block.ref)] = (src, envelope)
+            self._held_gauge.set(len(self._held))
             return
         shim.on_network(src, envelope)
 
@@ -277,6 +296,8 @@ class LiveNode:
         for ref in ready:
             src, envelope = self._held.pop(ref)
             shim.on_network(src, envelope)
+        if ready:
+            self._held_gauge.set(len(self._held))
 
     # -- tick loop -------------------------------------------------------------
 
@@ -297,29 +318,35 @@ class LiveNode:
             return
         assert self._progress is not None and self._stop_event is not None
         loop = asyncio.get_running_loop()
-        deadline = loop.time() + self.config.tick_timeout
-        while not self._stop_event.is_set():
-            if self._peers_at(tick - 1):
-                return
-            remaining = deadline - loop.time()
-            if remaining <= 0:
-                self.gate_timeouts += 1
-                return
-            self._progress.clear()
-            if self._peers_at(tick - 1):
-                return
-            try:
-                # The event wakes us on every admission; the cap is a
-                # safety poll against a lost edge.
-                await asyncio.wait_for(
-                    self._progress.wait(), timeout=min(0.05, remaining)
-                )
-            except asyncio.TimeoutError:
-                pass
+        started = loop.time()
+        deadline = started + self.config.tick_timeout
+        try:
+            while not self._stop_event.is_set():
+                if self._peers_at(tick - 1):
+                    return
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    self.gate_timeouts += 1
+                    self._gate_timeout_count.inc()
+                    return
+                self._progress.clear()
+                if self._peers_at(tick - 1):
+                    return
+                try:
+                    # The event wakes us on every admission; the cap is a
+                    # safety poll against a lost edge.
+                    await asyncio.wait_for(
+                        self._progress.wait(), timeout=min(0.05, remaining)
+                    )
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            self._gate_wait.observe(loop.time() - started)
 
     async def _tick_loop(self) -> None:
         shim = self.shim
         assert shim is not None and self._stop_event is not None
+        loop = asyncio.get_running_loop()
         while (
             shim.gossip.builder.next_seq < self.config.max_ticks
             and not self._stop_event.is_set()
@@ -330,7 +357,9 @@ class LiveNode:
                 return
             for label, index in self._schedule.get(tick, ()):
                 shim.request(Label(label), self.make_request(index))
+            seal_started = loop.time()
             shim.disseminate()
+            self._seal_to_wire.observe(loop.time() - seal_started)
             self._flush_held()
             self._write_status()
             if self.config.tick_interval > 0:
@@ -381,6 +410,7 @@ class LiveNode:
             await asyncio.sleep(self.config.beacon_interval)
             tip = shim.dag.tip(self.server)
             if tip is not None and not shim.dag.payload_pruned(tip.ref):
+                self._beacon_rounds.inc()
                 transport.broadcast(self.servers, BlockEnvelope(tip))
 
     async def _status_loop(self) -> None:
@@ -415,12 +445,20 @@ class LiveNode:
             wire_bytes=transport.metrics.bytes,
             dropped_overflow=transport.dropped_overflow,
             reconnects=transport.reconnects,
+            metrics_seq=self._metrics_seq,
         )
 
     def _write_status(self) -> None:
         path = self.config.status_path
         if path is None or self.shim is None:
             return
+        # The metrics file goes first so that by the time a scraper sees
+        # this seq in the status file, the matching snapshot is on disk.
+        self._metrics_seq += 1
+        if self.config.metrics_path is not None:
+            self.metrics.snapshot(seq=self._metrics_seq).write_jsonl(
+                self.config.metrics_path
+            )
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
         tmp = target.with_name(target.name + ".tmp")

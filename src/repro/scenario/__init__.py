@@ -34,6 +34,7 @@ from repro.scenario.faults import (
 from repro.scenario.probes import PROBES
 from repro.scenario.result import LatencyStats, ScenarioResult, percentile
 from repro.scenario.runner import ScenarioRunner, run_scenario
+from repro.scenario.slo import SloReport, SloSpec, SloVerdict
 from repro.scenario.spec import (
     PROTOCOLS,
     LatencySpec,
@@ -80,6 +81,9 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "ScenarioRunner",
+    "SloReport",
+    "SloSpec",
+    "SloVerdict",
     "StopCondition",
     "StorageSpec",
     "Topology",

@@ -14,6 +14,9 @@ Subcommands
 * ``trace diff FILE_A FILE_B`` — compare two exported flight-recorder
   traces (``run --trace-dir`` writes them) and report the first
   divergence; exit 0 when identical, 1 when they diverge.
+* ``metrics report|top|diff`` — inspect metrics from a ``run --json``
+  result document, a ``{"results": [...]}`` batch, or a raw per-node
+  ``*.metrics.jsonl`` snapshot.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from repro.obs.diverge import (
     first_event_divergence,
 )
 from repro.obs.export import read_jsonl
+from repro.obs.metrics import MetricsError, MetricsReport, MetricsSnapshot
 from repro.scenario import registry
 from repro.scenario.result import ScenarioResult
 from repro.scenario.runner import run_scenario
@@ -82,6 +86,27 @@ def _summary_lines(result: ScenarioResult) -> list[str]:
                 f"p90={commit.p90} p99={commit.p99} max={commit.max} "
                 f"(t_virt, {commit.count} samples)"
             )
+    if result.live_lifecycle is not None:
+        commit = result.live_lifecycle.seal_to_interpret
+        if commit.count:
+            lines.append(
+                f"live lifecycle: seal→interpret "
+                f"p50={commit.p50 * 1000:.1f}ms "
+                f"p99={commit.p99 * 1000:.1f}ms "
+                f"max={commit.max * 1000:.1f}ms "
+                f"(wall clock, {commit.count} samples)"
+            )
+    if result.metrics is not None and result.metrics.by_server:
+        servers = ", ".join(server for server, _ in result.metrics.by_server)
+        lines.append(
+            f"metrics       : {len(result.metrics.merged.points)} merged "
+            f"points from [{servers}] "
+            f"(see `python -m repro.scenario metrics report`)"
+        )
+    if result.slo is not None:
+        state = "passed" if result.slo.passed else "FAILED"
+        lines.append(f"slo           : {state}")
+        lines.append(result.slo.render())
     lines.append(f"wall clock    : {result.wall_seconds:.3f}s")
     return lines
 
@@ -141,7 +166,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     failed = [
         r for r in results if r.stopped_by in ("max-rounds", "live-timeout")
     ]
-    return 1 if failed else 0
+    slo_failed = [r for r in results if r.slo is not None and not r.slo.passed]
+    return 1 if failed or slo_failed else 0
 
 
 def cmd_diff(args: argparse.Namespace) -> int:
@@ -174,6 +200,88 @@ def cmd_diff(args: argparse.Namespace) -> int:
             f"{flat_b.get(key, '<absent>')}"
         )
     return 0
+
+
+def _load_metrics(path: str) -> MetricsReport:
+    """A :class:`MetricsReport` from any of the three on-disk shapes:
+    a ``run --json`` result document, a ``{"results": [...]}`` batch
+    (first result carrying metrics wins), or a node's raw canonical
+    ``*.metrics.jsonl`` snapshot."""
+    text = Path(path).read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict):
+            candidates = doc.get("results", [doc])
+            if isinstance(candidates, list):
+                for entry in candidates:
+                    if isinstance(entry, dict) and entry.get("metrics"):
+                        return MetricsReport.from_dict(entry["metrics"])
+            if "merged" in doc or "by_server" in doc:
+                return MetricsReport.from_dict(doc)
+            raise ScenarioError(
+                f"{path}: no 'metrics' found in the result document"
+            )
+    try:
+        snapshot = MetricsSnapshot.from_jsonl(text)
+    except MetricsError as exc:
+        raise ScenarioError(f"{path}: not a metrics document: {exc}") from exc
+    server = snapshot.server or "node"
+    return MetricsReport.from_snapshots({server: snapshot})
+
+
+def cmd_metrics_report(args: argparse.Namespace) -> int:
+    report = _load_metrics(args.file)
+    if args.server is not None:
+        snapshot = report.snapshot(args.server)
+        if snapshot is None:
+            known = [server for server, _ in report.by_server]
+            raise ScenarioError(
+                f"no snapshot for server {args.server!r} (known: {known})"
+            )
+        report = MetricsReport.from_snapshots({args.server: snapshot})
+    print(report.render())
+    return 0
+
+
+def cmd_metrics_top(args: argparse.Namespace) -> int:
+    report = _load_metrics(args.file)
+    print(report.render(limit=args.n))
+    return 0
+
+
+def cmd_metrics_diff(args: argparse.Namespace) -> int:
+    report_a = _load_metrics(args.file_a)
+    report_b = _load_metrics(args.file_b)
+
+    def flat(report: MetricsReport) -> dict[str, object]:
+        out: dict[str, object] = {}
+        for p in report.merged.points:
+            labels = ",".join(f"{k}={v}" for k, v in p.labels)
+            name = f"{p.name}{{{labels}}}" if labels else p.name
+            out[name] = p.count if p.kind == "histogram" else p.value
+        return out
+
+    flat_a, flat_b = flat(report_a), flat(report_b)
+    differing = [
+        key
+        for key in sorted(set(flat_a) | set(flat_b))
+        if flat_a.get(key) != flat_b.get(key)
+    ]
+    if not differing:
+        print("metrics identical")
+        return 0
+    width = max(len(key) for key in differing)
+    print(f"{'metric'.ljust(width)}  {args.file_a}  ->  {args.file_b}")
+    for key in differing:
+        print(
+            f"{key.ljust(width)}  {flat_a.get(key, '<absent>')}  ->  "
+            f"{flat_b.get(key, '<absent>')}"
+        )
+    return 1
 
 
 def cmd_trace_diff(args: argparse.Namespace) -> int:
@@ -237,7 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="execute on a live multi-process cluster (one OS process "
         "per server over unix-domain sockets) instead of the simulator; "
-        "fault-free scenarios only",
+        "fault-free and crash-fault scenarios only",
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -275,6 +383,35 @@ def build_parser() -> argparse.ArgumentParser:
         "first and falls back to events",
     )
     p_trace_diff.set_defaults(func=cmd_trace_diff)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="inspect metrics from results or node snapshots"
+    )
+    metrics_sub = p_metrics.add_subparsers(dest="metrics_command", required=True)
+    p_metrics_report = metrics_sub.add_parser(
+        "report",
+        help="render the merged cluster metrics table from a result "
+        "JSON, a {\"results\": [...]} batch, or a *.metrics.jsonl file",
+    )
+    p_metrics_report.add_argument("file")
+    p_metrics_report.add_argument(
+        "--server", default=None, help="show one server's snapshot only"
+    )
+    p_metrics_report.set_defaults(func=cmd_metrics_report)
+    p_metrics_top = metrics_sub.add_parser(
+        "top", help="the n largest merged metrics"
+    )
+    p_metrics_top.add_argument("file")
+    p_metrics_top.add_argument("-n", type=int, default=10)
+    p_metrics_top.set_defaults(func=cmd_metrics_top)
+    p_metrics_diff = metrics_sub.add_parser(
+        "diff",
+        help="diff two metrics documents point by point "
+        "(exit 0 identical, 1 differing)",
+    )
+    p_metrics_diff.add_argument("file_a")
+    p_metrics_diff.add_argument("file_b")
+    p_metrics_diff.set_defaults(func=cmd_metrics_diff)
     return parser
 
 
@@ -283,7 +420,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ScenarioError as exc:
+    except (ScenarioError, OSError) as exc:
         print(f"scenario error: {exc}", file=sys.stderr)
         return 2
 

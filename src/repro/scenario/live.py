@@ -16,12 +16,17 @@ identical requests at identical chain positions, which is half of what
 makes ``trace diff --mode chains`` between the arms silent (the other
 half is the node's lockstep gate).
 
-Live runs support the fault-free subset of the scenario language: a
-fault schedule needs the simulator's ability to schedule drops and
-hijacks, and the live crash surface is the real one (``kill -9``,
-exercised directly by the integration tests).  The stop condition must
-contain a :class:`~repro.scenario.stop.RoundsElapsed` bound — a fixed
-tick budget is what makes the two arms' chain *lengths* comparable.
+Live runs support the crash-inclusive subset of the scenario language:
+partition, byzantine, link-loss and duplication faults need the
+simulator's ability to schedule drops and hijacks, but a
+:class:`~repro.scenario.faults.CrashFault` lowers onto the *real*
+crash surface — :func:`compile_live_crashes` turns it into a
+:class:`~repro.runtime.live.cluster.LiveCrash` (SIGKILL once the
+victim's own tick reaches ``crash_round``, respawn after a wall-clock
+downtime standing in for the virtual crash→restart span).  The stop
+condition must contain a :class:`~repro.scenario.stop.RoundsElapsed`
+bound — a fixed tick budget is what makes the two arms' chain
+*lengths* comparable.
 """
 
 from __future__ import annotations
@@ -30,7 +35,9 @@ import random
 from pathlib import Path
 
 from repro.errors import ScenarioError
+from repro.runtime.live.cluster import LiveCrash
 from repro.runtime.live.node import NodeConfig
+from repro.scenario.faults import CrashFault
 from repro.scenario.spec import Scenario
 from repro.scenario.stop import RoundsElapsed, StopCondition, _Composite
 from repro.scenario.workload import WorkloadDriver
@@ -124,11 +131,11 @@ def compile_live_configs(
     ``trace_dir`` is given (one ``<server>.jsonl`` each, the same
     layout the simulated runner exports).
     """
-    if scenario.faults.to_json_list():
+    if any(not isinstance(e, CrashFault) for e in scenario.faults.events):
         raise ScenarioError(
-            "live execution supports fault-free scenarios only; crash "
-            "faults are exercised on a live cluster with real kill -9 "
-            "(see LiveCluster.kill), not from the schedule"
+            "live execution supports fault-free and crash-fault scenarios "
+            "only; partition/byzantine/link faults need the simulator's "
+            "scheduled drops and hijacks"
         )
     run_dir = Path(run_dir)
     rounds = live_rounds(scenario.stop, scenario.max_rounds)
@@ -173,5 +180,34 @@ def compile_live_configs(
                 str(Path(trace_dir) / f"{server}.jsonl") if trace else None  # type: ignore[arg-type]
             ),
             status_path=str(run_dir / f"{server}.status.json"),
+            metrics_path=str(run_dir / f"{server}.metrics.jsonl"),
         )
     return configs
+
+
+#: Wall-clock downtime per virtual crash→restart round (seconds).  A
+#: restarted node recovers from disk and beacon-chases the gap, so the
+#: stand-in only needs to be long enough to be observable.
+DOWN_SECONDS_PER_ROUND = 1.0
+
+
+def compile_live_crashes(scenario: Scenario) -> tuple[LiveCrash, ...]:
+    """Lower the scenario's crash faults onto the real kill surface."""
+    crashes = []
+    for event in scenario.faults.crash_events():
+        if event.restart_round is None:
+            down: float | None = None
+        else:
+            down = max(
+                DOWN_SECONDS_PER_ROUND,
+                (event.restart_round - event.crash_round)
+                * DOWN_SECONDS_PER_ROUND,
+            )
+        crashes.append(
+            LiveCrash(
+                server=event.server,
+                kill_at_tick=event.crash_round,
+                down_seconds=down,
+            )
+        )
+    return tuple(crashes)

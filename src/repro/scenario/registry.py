@@ -19,6 +19,7 @@ from repro.scenario.faults import (
     FaultSchedule,
     PartitionFault,
 )
+from repro.scenario.slo import SloSpec
 from repro.scenario.spec import LatencySpec, Scenario, StorageSpec, Topology
 from repro.scenario.stop import AllDelivered, And, DagsConverged, RoundsElapsed
 from repro.scenario.workload import ClosedLoopWorkload, OpenLoopWorkload
@@ -305,6 +306,49 @@ def _live_smoke(smoke: bool) -> Scenario:
         stop=RoundsElapsed(6 if smoke else 8),
         probes=("total-blocks", "delivered"),
         max_rounds=6 if smoke else 8,
+        # Generous but real: four local processes over UDS commit a
+        # block in well under five seconds unless the pipeline is
+        # actually broken; a fault-free run drops and reconnects
+        # nothing (the dial stampede at start-up is not a reconnect).
+        slo=SloSpec(commit_p99_ms=5000.0, max_queue_drops=0, max_reconnects=0),
+    )
+
+
+def _metrics_soak(smoke: bool) -> Scenario:
+    return Scenario(
+        name="metrics-soak",
+        protocol="counter",
+        description="Telemetry attribution soak: eight servers on the "
+        "counter ledger with tracing on; one seat is SIGKILLed mid-run "
+        "and respawned, and the cluster MetricsReport must attribute "
+        "the disturbance — peer connection losses and reconnects — to "
+        "exactly the killed seat.  Runnable on both arms; the live arm "
+        "(``run --live``) is the one that exercises the wall-clock "
+        "telemetry.",
+        topology=Topology(
+            n=8,
+            trace=True,
+            storage=StorageSpec(checkpoint_interval=6, segment_max_bytes=8192),
+        ),
+        workload=OpenLoopWorkload(
+            rate=1, rounds=3 if smoke else 6, shared_label="ledger"
+        ),
+        faults=FaultSchedule(
+            (
+                CrashFault(
+                    server="s5",
+                    crash_round=2,
+                    restart_round=4 if smoke else 6,
+                ),
+            )
+        ),
+        stop=RoundsElapsed(6 if smoke else 10),
+        probes=("total-blocks", "delivered", "down-servers"),
+        max_rounds=6 if smoke else 10,
+        # The commit p99 rides through the crash window: peers stall at
+        # the tick gate (up to tick_timeout) while the victim is down,
+        # so the bound covers a couple of gate timeouts plus slack.
+        slo=SloSpec(commit_p99_ms=30000.0, max_queue_drops=64),
     )
 
 
@@ -337,6 +381,7 @@ REGISTRY: dict[str, ScenarioBuilder] = {
     "flight-recorder": _flight_recorder,
     "offline-interpretation": _offline_interpretation,
     "live-smoke": _live_smoke,
+    "metrics-soak": _metrics_soak,
 }
 
 

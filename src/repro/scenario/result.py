@@ -17,11 +17,13 @@ from typing import Mapping, Sequence
 
 from repro.errors import ScenarioError
 from repro.obs.lifecycle import LifecycleStats
+from repro.obs.metrics import MetricsError, MetricsReport
 from repro.runtime.snapshots import (
     InterpreterSnapshot,
     StorageSnapshot,
     WireSnapshot,
 )
+from repro.scenario.slo import SloReport
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
@@ -108,6 +110,17 @@ class ScenarioResult:
     #: Block-lifecycle latency percentiles (virtual time, hence fully
     #: deterministic), present when the topology enabled tracing.
     lifecycle: LifecycleStats | None = None
+    #: Cluster-wide metrics merge.  On the simulated arm this is built
+    #: from the deterministic wire/interpreter/storage counters (so the
+    #: document stays byte-identical for a fixed seed); on the live arm
+    #: it is the scraped wall-clock :class:`MetricsReport`.
+    metrics: MetricsReport | None = None
+    #: Wall-clock block lifecycle joined *across node processes* by ref
+    #: (seal→first-receive→validate→interpret), live runs only.
+    live_lifecycle: LifecycleStats | None = None
+    #: SLO verdicts — evaluated on live runs when the scenario declares
+    #: an ``slo`` block; ``None`` otherwise.
+    slo: SloReport | None = None
     #: Wall-clock seconds — the one field excluded from determinism
     #: comparisons (``to_json(include_wall_clock=False)``).
     wall_seconds: float = 0.0
@@ -160,6 +173,15 @@ class ScenarioResult:
             "lifecycle": (
                 None if self.lifecycle is None else self.lifecycle.as_dict()
             ),
+            "metrics": (
+                None if self.metrics is None else self.metrics.as_dict()
+            ),
+            "live_lifecycle": (
+                None
+                if self.live_lifecycle is None
+                else self.live_lifecycle.as_dict()
+            ),
+            "slo": None if self.slo is None else self.slo.to_json_dict(),
         }
         if include_wall_clock:
             data["wall_seconds"] = self.wall_seconds
@@ -218,9 +240,30 @@ class ScenarioResult:
                     if data.get("lifecycle") is None
                     else LifecycleStats.from_dict(data["lifecycle"])  # type: ignore[arg-type]
                 ),
+                metrics=(
+                    None
+                    if data.get("metrics") is None
+                    else MetricsReport.from_dict(data["metrics"])  # type: ignore[arg-type]
+                ),
+                live_lifecycle=(
+                    None
+                    if data.get("live_lifecycle") is None
+                    else LifecycleStats.from_dict(data["live_lifecycle"])  # type: ignore[arg-type]
+                ),
+                slo=(
+                    None
+                    if data.get("slo") is None
+                    else SloReport.from_json_dict(data["slo"])  # type: ignore[arg-type]
+                ),
                 wall_seconds=float(data.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
             )
-        except (KeyError, AssertionError, ValueError, TypeError) as exc:
+        except (
+            KeyError,
+            AssertionError,
+            ValueError,
+            TypeError,
+            MetricsError,
+        ) as exc:
             raise ScenarioError(f"bad scenario-result document: {exc}") from exc
 
     @staticmethod

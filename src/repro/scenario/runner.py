@@ -23,14 +23,49 @@ import time
 from pathlib import Path
 
 from repro.errors import ScenarioError
+from repro.obs.export import read_jsonl
+from repro.obs.lifecycle import LifecycleIndex, LifecycleStats
+from repro.obs.metrics import MetricsRegistry, MetricsReport
 from repro.runtime.cluster import Cluster, ClusterConfig
-from repro.runtime.snapshots import WireSnapshot
+from repro.runtime.snapshots import (
+    InterpreterSnapshot,
+    StorageSnapshot,
+    WireSnapshot,
+)
 from repro.storage.blockstore import StorageConfig
 from repro.scenario.probes import resolve_probe
 from repro.scenario.result import LatencyStats, ScenarioResult
 from repro.scenario.spec import Scenario, resolve_protocol
 from repro.scenario.workload import WorkloadDriver
 from repro.types import Label, ServerId
+
+
+def _sim_metrics(
+    wire: WireSnapshot,
+    interpreter: InterpreterSnapshot,
+    storage: StorageSnapshot,
+) -> MetricsReport:
+    """The simulated arm's metrics view: the deterministic run counters
+    re-expressed as one merged snapshot, so ``metrics report``/``diff``
+    work on either arm and the export is byte-identical per seed."""
+    registry = MetricsRegistry(server="sim")
+    counters = {
+        "wire.messages": wire.messages,
+        "wire.bytes": wire.bytes,
+        "wire.delivered": wire.delivered,
+        "wire.dropped": wire.dropped,
+        "interpreter.blocks-interpreted": interpreter.blocks_interpreted,
+        "interpreter.messages-delivered": interpreter.messages_delivered,
+        "interpreter.request-steps": interpreter.request_steps,
+        "interpreter.below-horizon": interpreter.below_horizon,
+        "storage.wal-appends": storage.wal_appends,
+        "storage.wal-bytes": storage.wal_bytes,
+        "storage.checkpoints-written": storage.checkpoints_written,
+        "storage.checkpoint-bytes": storage.checkpoint_bytes,
+    }
+    for name, value in counters.items():
+        registry.counter(name).inc(int(value))
+    return MetricsReport.from_snapshots({"sim": registry.snapshot()})
 
 
 class ScenarioRunner:
@@ -250,6 +285,7 @@ class ScenarioRunner:
         from repro.runtime.live.cluster import LiveCluster
         from repro.scenario.live import (
             compile_live_configs,
+            compile_live_crashes,
             compile_workload_schedule,
             live_rounds,
         )
@@ -258,7 +294,9 @@ class ScenarioRunner:
         rounds = live_rounds(scenario.stop, scenario.max_rounds)
         schedules, expected = compile_workload_schedule(scenario, rounds)
         issued = sum(len(entries) for entries in schedules.values())
+        crashes = compile_live_crashes(scenario)
         run_dir = Path(tempfile.mkdtemp(prefix=f"live-{scenario.name}-"))
+        live_lifecycle: LifecycleStats | None = None
         try:
             configs = compile_live_configs(
                 scenario,
@@ -268,9 +306,23 @@ class ScenarioRunner:
             )
             some = next(iter(configs.values()))
             # Worst case every tick stalls to its gate timeout, then the
-            # fleet still needs the settle window; pad for process spawn.
-            timeout = 15.0 + rounds * some.tick_timeout + some.settle_timeout
-            self.live_result = LiveCluster(configs, run_dir).run(timeout=timeout)
+            # fleet still needs the settle window; pad for process spawn
+            # and for scheduled crash downtime.
+            down_budget = sum(c.down_seconds or 0.0 for c in crashes)
+            timeout = (
+                15.0
+                + rounds * some.tick_timeout
+                + some.settle_timeout
+                + down_budget
+            )
+            self.live_result = LiveCluster(
+                configs, run_dir, crashes=crashes
+            ).run(timeout=timeout)
+            # Default trace exports live inside run_dir: join them into
+            # the cross-process lifecycle view before the cleanup below.
+            live_lifecycle = self._join_live_lifecycle(
+                self.live_result.trace_paths
+            )
         finally:
             # Sockets, configs, status files (and, when no trace_dir
             # was given, the default trace output) are scratch; an
@@ -288,6 +340,9 @@ class ScenarioRunner:
             bytes=sum(s.wire_bytes for s in statuses),
             delivered=sum(s.wire_messages for s in statuses),
         )
+        slo = None
+        if scenario.slo is not None:
+            slo = scenario.slo.evaluate(live_lifecycle, live.metrics)
         self.rounds_run = rounds
         self.result = ScenarioResult(
             scenario=scenario.name,
@@ -300,10 +355,39 @@ class ScenarioRunner:
             requests_delivered=delivered,
             wire=wire,
             total_blocks=max((s.blocks for s in statuses), default=0),
+            crashes=live.crashes,
             restarts=sum(s.recovered for s in statuses),
+            metrics=live.metrics,
+            live_lifecycle=live_lifecycle,
+            slo=slo,
             wall_seconds=round(live.wall_seconds, 6),
         )
         return self.result
+
+    @staticmethod
+    def _join_live_lifecycle(
+        trace_paths: dict[str, str]
+    ) -> LifecycleStats | None:
+        """Join every node's trace export into one wall-clock lifecycle.
+
+        Live recorders stamp events with ``loop.time()`` —
+        CLOCK_MONOTONIC, comparable across processes on one machine —
+        so feeding all exports through a single
+        :class:`~repro.obs.lifecycle.LifecycleIndex` matches each
+        block's seal on its builder against first-receive / validate /
+        interpret on every other node, by ref.
+        """
+        index = LifecycleIndex()
+        observed = 0
+        for server, path in sorted(trace_paths.items()):
+            try:
+                events = read_jsonl(path)
+            except OSError:
+                continue
+            for event in events:
+                index.observe(ServerId(server), event)
+            observed += len(events)
+        return index.stats() if observed else None
 
     # -- result assembly -------------------------------------------------------
 
@@ -316,6 +400,9 @@ class ScenarioRunner:
         driver = self.driver
         virtual_time = cluster.sim.now
         delivered = driver.delivered_count
+        wire = cluster.wire_snapshot()
+        interpreter = cluster.interpreter_snapshot()
+        storage = cluster.storage_snapshot()
         return ScenarioResult(
             scenario=self.scenario.name,
             protocol=self.scenario.protocol,
@@ -334,9 +421,9 @@ class ScenarioRunner:
             ),
             latency_rounds=LatencyStats.from_samples(driver.latencies_rounds()),
             latency_time=LatencyStats.from_samples(driver.latencies_time()),
-            wire=cluster.wire_snapshot(),
-            interpreter=cluster.interpreter_snapshot(),
-            storage=cluster.storage_snapshot(),
+            wire=wire,
+            interpreter=interpreter,
+            storage=storage,
             total_blocks=cluster.total_blocks(),
             forks_observed=self._forks_observed(),
             crashes=cluster.crashes_performed,
@@ -351,6 +438,7 @@ class ScenarioRunner:
                 if cluster.tracer is not None
                 else None
             ),
+            metrics=_sim_metrics(wire, interpreter, storage),
             wall_seconds=round(wall_seconds, 6),
         )
 

@@ -1,0 +1,222 @@
+"""Declarative wall-clock SLOs, evaluated against a live run's telemetry.
+
+A :class:`SloSpec` rides in the Scenario JSON document (``"slo"``) and
+names bounds on what the live arm actually measured: the cross-process
+lifecycle join (seal→interpret wall-clock percentiles) and the merged
+cluster :class:`~repro.obs.metrics.MetricsReport` (queue drops,
+attributable reconnects).  The runner evaluates it into a
+:class:`SloReport` of pass/fail verdicts carried in
+``ScenarioResult.slo`` — which is what the CI gate asserts on.
+
+Missing data fails the verdict: a bound on ``commit_p99_ms`` with no
+lifecycle samples is a broken pipeline, not a green light.
+
+Simulated runs never evaluate SLOs (virtual time has no wall-clock
+latency), so a scenario with an ``slo`` block stays byte-deterministic
+on the simulated arm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ScenarioError
+from repro.obs.lifecycle import LifecycleStats
+from repro.obs.metrics import MetricsReport
+
+__all__ = ["SloReport", "SloSpec", "SloVerdict"]
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Bounds a live run must meet; ``None`` means "not bounded".
+
+    - ``commit_p99_ms`` — p99 of the wall-clock seal→interpret stage
+      (a block's end-to-end commit latency across processes).
+    - ``receive_p99_ms`` — p99 of seal→first-receive (pure wire+queue
+      latency, before validation).
+    - ``max_queue_drops`` — total oldest-dropped envelopes across every
+      per-peer transport queue.
+    - ``max_reconnects`` — total attributable reconnects (re-established
+      after losing a live connection; the initial dial stampede does
+      not count).
+    """
+
+    commit_p99_ms: float | None = None
+    receive_p99_ms: float | None = None
+    max_queue_drops: int | None = None
+    max_reconnects: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("commit_p99_ms", "receive_p99_ms"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ScenarioError(f"slo.{name} must be positive, got {value}")
+        for name in ("max_queue_drops", "max_reconnects"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ScenarioError(f"slo.{name} must be >= 0, got {value}")
+
+    def bounds(self) -> list[tuple[str, float]]:
+        return [
+            (name, getattr(self, name))
+            for name in (
+                "commit_p99_ms",
+                "receive_p99_ms",
+                "max_queue_drops",
+                "max_reconnects",
+            )
+            if getattr(self, name) is not None
+        ]
+
+    def evaluate(
+        self,
+        lifecycle: LifecycleStats | None,
+        metrics: MetricsReport | None,
+    ) -> "SloReport":
+        verdicts = []
+        for name, bound in self.bounds():
+            observed = self._observe(name, lifecycle, metrics)
+            verdicts.append(
+                SloVerdict(
+                    name=name,
+                    bound=float(bound),
+                    observed=observed,
+                    ok=observed is not None and observed <= bound,
+                )
+            )
+        return SloReport(verdicts=tuple(verdicts))
+
+    @staticmethod
+    def _observe(
+        name: str,
+        lifecycle: LifecycleStats | None,
+        metrics: MetricsReport | None,
+    ) -> float | None:
+        if name == "commit_p99_ms":
+            if lifecycle is None or lifecycle.seal_to_interpret.count == 0:
+                return None
+            return lifecycle.seal_to_interpret.p99 * 1000.0
+        if name == "receive_p99_ms":
+            if lifecycle is None or lifecycle.seal_to_first_receive.count == 0:
+                return None
+            return lifecycle.seal_to_first_receive.p99 * 1000.0
+        if metrics is None:
+            return None
+        if name == "max_queue_drops":
+            return float(metrics.merged.total("transport.queue-drops"))
+        if name == "max_reconnects":
+            return float(metrics.merged.total("transport.reconnects"))
+        raise ScenarioError(f"unknown SLO bound {name!r}")
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {name: bound for name, bound in self.bounds()}
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, object]) -> "SloSpec":
+        known = {
+            "commit_p99_ms",
+            "receive_p99_ms",
+            "max_queue_drops",
+            "max_reconnects",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ScenarioError(
+                f"unknown SLO field(s): {', '.join(sorted(unknown))}"
+            )
+        try:
+            return SloSpec(
+                commit_p99_ms=(
+                    None
+                    if data.get("commit_p99_ms") is None
+                    else float(data["commit_p99_ms"])  # type: ignore[arg-type]
+                ),
+                receive_p99_ms=(
+                    None
+                    if data.get("receive_p99_ms") is None
+                    else float(data["receive_p99_ms"])  # type: ignore[arg-type]
+                ),
+                max_queue_drops=(
+                    None
+                    if data.get("max_queue_drops") is None
+                    else int(data["max_queue_drops"])  # type: ignore[arg-type]
+                ),
+                max_reconnects=(
+                    None
+                    if data.get("max_reconnects") is None
+                    else int(data["max_reconnects"])  # type: ignore[arg-type]
+                ),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(f"malformed SLO spec: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SloVerdict:
+    """One bound's outcome.  ``observed is None`` means the telemetry
+    that would prove the bound never arrived — which fails it."""
+
+    name: str
+    bound: float
+    observed: float | None
+    ok: bool
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "bound": self.bound,
+            "observed": self.observed,
+            "ok": self.ok,
+        }
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, object]) -> "SloVerdict":
+        try:
+            observed = data.get("observed")
+            return SloVerdict(
+                name=str(data["name"]),
+                bound=float(data["bound"]),  # type: ignore[arg-type]
+                observed=None if observed is None else float(observed),  # type: ignore[arg-type]
+                ok=bool(data["ok"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScenarioError(f"malformed SLO verdict: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """Every verdict from one evaluation; the gate checks ``passed``."""
+
+    verdicts: tuple[SloVerdict, ...] = ()
+
+    @property
+    def passed(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "passed": self.passed,
+            "verdicts": [v.to_json_dict() for v in self.verdicts],
+        }
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, object]) -> "SloReport":
+        try:
+            return SloReport(
+                verdicts=tuple(
+                    SloVerdict.from_json_dict(v) for v in data.get("verdicts", ())  # type: ignore[union-attr]
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(f"malformed SLO report: {exc}") from exc
+
+    def render(self) -> str:
+        lines = []
+        for v in self.verdicts:
+            observed = "n/a" if v.observed is None else f"{v.observed:.1f}"
+            state = "ok" if v.ok else "FAIL"
+            lines.append(f"  {v.name:<18} bound {v.bound:<10.1f} "
+                         f"observed {observed:<10} {state}")
+        return "\n".join(lines)

@@ -28,6 +28,7 @@ from repro.protocols.pbft import Propose, pbft_protocol
 from repro.protocols.phaseking import PkPropose, phase_king_protocol
 from repro.scenario.faults import FaultSchedule
 from repro.scenario.probes import resolve_probe
+from repro.scenario.slo import SloSpec
 from repro.scenario.stop import AllDelivered, StopCondition
 from repro.scenario.workload import OpenLoopWorkload, Workload
 from repro.storage.blockstore import StorageConfig
@@ -229,6 +230,10 @@ class Scenario:
     probes: tuple[str, ...] = ()
     max_rounds: int = 64
     settle_rounds: int = 0
+    #: Wall-clock SLO bounds, evaluated on live runs only (see
+    #: :mod:`repro.scenario.slo`).  Ignored by the simulated arm, so a
+    #: bounded scenario stays byte-deterministic there.
+    slo: SloSpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "probes", tuple(self.probes))
@@ -284,6 +289,7 @@ class Scenario:
             "probes": list(self.probes),
             "max_rounds": self.max_rounds,
             "settle_rounds": self.settle_rounds,
+            "slo": None if self.slo is None else self.slo.to_json_dict(),
         }
 
     def to_json(self, indent: int | None = None) -> str:
@@ -298,6 +304,7 @@ class Scenario:
             faults = payload.pop("faults", None)
             stop = payload.pop("stop", None)
             probes = payload.pop("probes", ())
+            slo = payload.pop("slo", None)
             return Scenario(
                 topology=(
                     Topology()
@@ -320,6 +327,7 @@ class Scenario:
                     else StopCondition.from_json_dict(stop)  # type: ignore[arg-type]
                 ),
                 probes=tuple(probes),  # type: ignore[arg-type]
+                slo=None if slo is None else SloSpec.from_json_dict(slo),  # type: ignore[arg-type]
                 **payload,  # type: ignore[arg-type]
             )
         except TypeError as exc:

@@ -118,6 +118,10 @@ class ServerStorage:
         #: write path at one attribute check each.
         self.tracer = NULL_RECORDER
         self.timers = None
+        #: Live-arm :class:`~repro.obs.metrics.MetricsRegistry` — set by
+        #: the live node so WAL-flush / checkpoint-write latency lands
+        #: in its exported snapshots (``storage.*`` histograms).
+        self.live_metrics = None
         #: Blocks appended since the last WAL flush, in insertion
         #: order.  One WAL record ("chain frame") is written per
         #: maximal same-builder run at flush time — the shim flushes at
@@ -172,7 +176,8 @@ class ServerStorage:
         if not self._pending:
             return
         timers = self.timers
-        if timers is not None:
+        live_metrics = self.live_metrics
+        if timers is not None or live_metrics is not None:
             _started = perf_counter()
         pending, self._pending = self._pending, []
         start = 0
@@ -196,8 +201,12 @@ class ServerStorage:
                         chain=str(run[0].n),
                     )
                 start = i
-        if timers is not None:
-            timers.observe("wal-flush", perf_counter() - _started)
+        if timers is not None or live_metrics is not None:
+            _elapsed = perf_counter() - _started
+            if timers is not None:
+                timers.observe("wal-flush", _elapsed)
+            if live_metrics is not None:
+                live_metrics.histogram("storage.wal-flush").observe(_elapsed)
 
     def write_checkpoint(self, checkpoint: Checkpoint) -> None:
         """Persist a checkpoint, then GC WAL segments it fully covers.
@@ -212,10 +221,17 @@ class ServerStorage:
         # no-op; it makes direct callers safe too.
         self.flush_wal()
         timers = self.timers
-        if timers is not None:
+        live_metrics = self.live_metrics
+        if timers is not None or live_metrics is not None:
             _started = perf_counter()
             self.checkpoints.write(checkpoint)
-            timers.observe("checkpoint-write", perf_counter() - _started)
+            _elapsed = perf_counter() - _started
+            if timers is not None:
+                timers.observe("checkpoint-write", _elapsed)
+            if live_metrics is not None:
+                live_metrics.histogram("storage.checkpoint-write").observe(
+                    _elapsed
+                )
         else:
             self.checkpoints.write(checkpoint)
         if self.config.prune:

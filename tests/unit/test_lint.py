@@ -80,6 +80,31 @@ class TestNoWallClock:
         report = lint("import time\n", module="repro.scenario.runner")
         assert rules_of(report) == []
 
+    def test_allowed_inside_metrics_module(self):
+        report = lint(
+            "from time import perf_counter\n", module="repro.obs.metrics"
+        )
+        assert rules_of(report) == []
+
+    def test_monotonic_still_fires_outside_the_conduit(self):
+        # The allowance is an exact module list, not a prefix: a raw
+        # wall-clock read anywhere else in the tree keeps failing even
+        # though repro.obs.metrics may read the clock.
+        report = lint(
+            """
+            import time
+
+            def now():
+                return time.monotonic()
+            """,
+            module="repro.net.live.fake",
+        )
+        assert rules_of(report).count("no-wall-clock") == 2  # import + call
+
+    def test_submodule_of_allowed_package_still_fires(self):
+        report = lint("from time import perf_counter\n", module="repro.obs.other")
+        assert rules_of(report) == ["no-wall-clock"]
+
 
 # ---------------------------------------------------- seeded-randomness-only
 
