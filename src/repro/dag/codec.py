@@ -156,10 +156,10 @@ def encoding_key(value: Any) -> bytes:
 # payload/request/indication classes self-register via their marker base
 # classes, and Block/Message register explicitly.
 
-_DATACLASS_REGISTRY: dict[str, type] = {}
+_DATACLASS_REGISTRY: dict[str, type] = {}  # lint: registry — populated once at import time by register_dataclass; lookups after that are pure
 
 #: Per-class encode metadata: ``(qualname bytes, field names)``.
-_ENCODE_CACHE: dict[type, tuple[bytes, tuple[str, ...]]] = {}
+_ENCODE_CACHE: dict[type, tuple[bytes, tuple[str, ...]]] = {}  # lint: registry — per-type memo of immutable metadata; an entry is computed deterministically from the class and never changes
 
 
 def register_dataclass(cls: type) -> type:

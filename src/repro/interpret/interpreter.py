@@ -519,6 +519,11 @@ class Interpreter:
                         # (release_state diverts ready successors), so
                         # go straight to the execution body.
                         self._execute(block, self.dag.predecessors(block))
+                        # Scheduler propagation lives out here (not in
+                        # _execute) so the Algorithm-2 core stays a
+                        # pure function of the DAG — the handler-purity
+                        # rule certifies it with an empty effect set.
+                        self._on_interpreted(block.ref)
                     except BaseException:
                         # Keep heap ⊇ ready even when a protocol step
                         # blows up mid-run, so a later run() still sees
@@ -588,7 +593,10 @@ class Interpreter:
                 f"pruned below the stable frontier: "
                 f"{[p.ref[:8] for p in pruned]}"
             )
-        return self._execute(block, preds)
+        events = self._execute(block, preds)
+        if self.incremental:
+            self._on_interpreted(block.ref)
+        return events
 
     def _execute(
         self, block: Block, preds: list[Block]
@@ -720,8 +728,6 @@ class Interpreter:
             )
         if timers is not None:
             timers.observe("interpret-block", perf_counter() - _started)  # type: ignore[attr-defined]
-        if self.incremental:
-            self._on_interpreted(block.ref)
         return new_events
 
     # -- internals ------------------------------------------------------------
@@ -732,6 +738,9 @@ class Interpreter:
         checkpoint delta encoding must agree with."""
         return parent_of(block, preds)
 
+    # lint: effect() — `action` is one of the two step closures built in
+    # _execute (pi.step_request / pi.step_message), both of which land in
+    # handler-purity-certified protocol handlers; nothing else is passed.
     def _step(
         self,
         state: BlockState,
@@ -759,6 +768,9 @@ class Interpreter:
             owned.add(label)
         return action(instance)
 
+    # lint: effect() — self.on_indication is the shim's recording hook;
+    # it appends to per-run structures owned by the caller and must stay
+    # effect-free (it runs inside interpretation on every replica).
     def _emit(
         self,
         block: Block,

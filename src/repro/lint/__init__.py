@@ -37,6 +37,28 @@ Shipped rules (see the ``rules_*`` modules for the full contracts):
     No threads, executors or event loops in the deterministic core
     until the transport seam lands.
 
+Whole-program rules (engine phase two: one shared module index, call
+graph and effect fixpoint over every linted file — see
+:mod:`repro.lint.callgraph` / :mod:`repro.lint.effects`):
+
+``handler-purity``
+    Every concrete protocol's ``on_request``/``on_message`` handlers
+    and the interpreter's Algorithm-2 core must have an *empty*
+    transitive effect set over {reads-global, writes-global, io,
+    wall-clock, randomness, spawns-task, blocks} — the machine-checked
+    precondition for the ROADMAP's sharded parallel interpreter.
+``effect-annotation``
+    ``# lint: effect(...)`` declarations are checked, not trusted.
+
+Async-hazard rules for the live layer (per file):
+
+``async-hazard-stale-write``
+    ``self`` state assigned across an ``await`` without re-validation.
+``async-hazard-blocking-call``
+    ``time.sleep`` / ``subprocess`` / sync socket I/O in ``async def``.
+``async-hazard-task-leak``
+    ``create_task``/``ensure_future`` results dropped on the floor.
+
 Findings are suppressed per line with::
 
     something_flagged()  # lint: allow(rule-name) — why this is sound
@@ -59,10 +81,12 @@ from repro.lint.registry import Rule, all_rules, rule_names
 
 # Importing the rule modules registers every shipped rule.
 from repro.lint import (  # noqa: F401  (imported for registration side effect)
+    rules_async,
     rules_cow,
     rules_determinism,
     rules_iteration,
     rules_layering,
+    rules_purity,
 )
 
 __all__ = [

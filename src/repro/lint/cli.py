@@ -14,14 +14,32 @@ baseline), 1 when findings remain, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import difflib
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
 
 from repro.lint.baseline import Baseline
-from repro.lint.engine import Finding, LintEngine
+from repro.lint.engine import Finding, LintEngine, LintReport
 from repro.lint.registry import all_rules, get_rule, rule_names
+
+#: ``--profile relaxed`` — benchmarks, examples and tests may read the
+#: wall clock and print, but persistence, randomness and concurrency
+#: discipline still hold (plus the async-hazard family, which only
+#: fires on ``async def`` / spawned tasks anyway).
+PROFILES: dict[str, tuple[str, ...] | None] = {
+    "strict": None,  # every registered rule
+    "relaxed": (
+        "no-pickle",
+        "seeded-randomness-only",
+        "no-thread-no-asyncio",
+        "async-hazard-stale-write",
+        "async-hazard-blocking-call",
+        "async-hazard-task-leak",
+    ),
+}
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -45,6 +63,25 @@ def _parser() -> argparse.ArgumentParser:
         "--select",
         metavar="RULES",
         help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=tuple(PROFILES),
+        default="strict",
+        help=(
+            "rule profile: 'strict' runs everything, 'relaxed' keeps "
+            "no-pickle / seeded-randomness-only / no-thread-no-asyncio "
+            "and the async-hazard family (for benchmarks, examples, "
+            "tests); --select overrides the profile"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "emit per-rule wall time and finding counts (and append a "
+            "markdown table to $GITHUB_STEP_SUMMARY when set)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -95,6 +132,39 @@ def _render_text(
     return "\n".join(lines)
 
 
+def _stats_table(report: LintReport, findings: Sequence[Finding]) -> str:
+    """Per-rule wall time + finding counts as a markdown table."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    rows = sorted(
+        report.timings.items(), key=lambda item: item[1], reverse=True
+    )
+    lines = [
+        "| rule | findings | wall ms |",
+        "| --- | ---: | ---: |",
+    ]
+    for name, seconds in rows:
+        lines.append(f"| {name} | {counts.pop(name, 0)} | {seconds * 1e3:.1f} |")
+    for name in sorted(counts):  # meta rules: findings without timings
+        lines.append(f"| {name} | {counts[name]} | — |")
+    total = sum(report.timings.values())
+    lines.append(
+        f"| **total** | **{len(findings)}** | **{total * 1e3:.1f}** |"
+    )
+    return "\n".join(lines)
+
+
+def _emit_stats(report: LintReport, findings: Sequence[Finding]) -> None:
+    table = _stats_table(report, findings)
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write("### repro.lint per-rule stats\n\n")
+            handle.write(table + "\n")
+
+
 def _render_github(findings: Sequence[Finding]) -> str:
     lines = []
     for f in findings:
@@ -121,14 +191,23 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     rules = None
     if args.select:
-        try:
-            rules = [get_rule(name.strip()) for name in args.select.split(",")]
-        except KeyError as exc:
-            print(
-                f"unknown rule {exc.args[0]!r}; known: {', '.join(rule_names())}",
-                file=sys.stderr,
-            )
-            return 2
+        selected = []
+        for raw in args.select.split(","):
+            name = raw.strip()
+            try:
+                selected.append(get_rule(name))
+            except KeyError:
+                known = rule_names()
+                close = difflib.get_close_matches(name, known, n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                print(
+                    f"unknown rule {name!r}{hint}; known: {', '.join(known)}",
+                    file=sys.stderr,
+                )
+                return 2
+        rules = selected
+    elif PROFILES[args.profile] is not None:
+        rules = [get_rule(name) for name in PROFILES[args.profile]]
 
     paths = args.paths or _default_paths()
     report = LintEngine(rules).run(paths)
@@ -150,23 +229,32 @@ def main(argv: Sequence[str] | None = None) -> int:
     baselined = len(report.findings) - len(findings)
 
     if args.format == "json":
-        print(
-            json.dumps(
-                {
-                    "findings": [f.as_dict() for f in findings],
-                    "counts": {
-                        "findings": len(findings),
-                        "suppressed": report.suppressed,
-                        "baselined": baselined,
-                        "stale_baseline": len(stale),
-                        "files": report.files,
-                    },
-                },
-                indent=2,
-            )
-        )
+        document: dict[str, object] = {
+            "findings": [f.as_dict() for f in findings],
+            "counts": {
+                "findings": len(findings),
+                "suppressed": report.suppressed,
+                "baselined": baselined,
+                "stale_baseline": len(stale),
+                "files": report.files,
+            },
+        }
+        if args.stats:
+            rule_counts: dict[str, int] = {}
+            for finding in findings:
+                rule_counts[finding.rule] = rule_counts.get(finding.rule, 0) + 1
+            document["stats"] = {
+                name: {
+                    "findings": rule_counts.get(name, 0),
+                    "ms": round(seconds * 1e3, 3),
+                }
+                for name, seconds in sorted(report.timings.items())
+            }
+        print(json.dumps(document, indent=2))
     elif args.format == "github":
         print(_render_github(findings))
+        if args.stats:
+            _emit_stats(report, findings)
     else:
         print(
             _render_text(
@@ -177,6 +265,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 files=report.files,
             )
         )
+        if args.stats:
+            _emit_stats(report, findings)
     return 1 if findings else 0
 
 

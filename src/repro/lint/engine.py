@@ -1,9 +1,13 @@
 """The lint engine: file walking, parsing, suppressions, rule dispatch.
 
 The engine is deliberately dumb: it parses each file once, hands the
-tree to every registered rule, and applies the per-line suppression
-protocol to whatever comes back.  All invariant knowledge lives in the
-rules; all reporting knowledge lives in the CLI.
+tree to every registered per-file rule, then builds a single shared
+:class:`~repro.lint.callgraph.Program` (module index + call graph +
+effect fixpoint) over *all* parsed files and runs the whole-program
+rules against it — one parse per file feeds both phases.  The per-line
+suppression protocol applies uniformly to findings from either phase.
+All invariant knowledge lives in the rules; all reporting knowledge
+lives in the CLI.
 
 Suppression protocol (one line, next to the finding)::
 
@@ -23,11 +27,12 @@ import ast
 import io
 import re
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.lint.registry import Rule, all_rules
+from repro.lint.registry import ProgramRule, Rule, all_rules
+from repro.obs.timers import perf_counter
 
 #: ``# lint: allow(RULE-A, RULE-B) — reason``, lowercased in real use
 #: (reason optional at the regex level; its absence becomes a
@@ -160,11 +165,16 @@ class LintReport:
     findings: list[Finding]
     suppressed: int = 0
     files: int = 0
+    #: rule name -> cumulative wall seconds (plus the shared
+    #: ``whole-program-index`` entry for parse-independent index cost).
+    timings: dict[str, float] = field(default_factory=dict)
 
     def extend(self, other: "LintReport") -> None:
         self.findings.extend(other.findings)
         self.suppressed += other.suppressed
         self.files += other.files
+        for name, seconds in other.timings.items():
+            self.timings[name] = self.timings.get(name, 0.0) + seconds
 
 
 class LintEngine:
@@ -183,82 +193,30 @@ class LintEngine:
         path: str = "<string>",
     ) -> LintReport:
         """Lint one in-memory source (the unit-test entry point)."""
-        lines = source.splitlines()
-        try:
-            tree = ast.parse(source)
-        except SyntaxError as exc:
-            finding = Finding(
-                rule="parse-error",
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) or 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-            return LintReport(findings=[finding], files=1)
-        ctx = FileContext(display_path=path, module=module, tree=tree, lines=lines)
-        suppressions = _parse_suppressions(source)
-        by_line: dict[int, list[_Suppression]] = {}
-        for suppression in suppressions:
-            by_line.setdefault(suppression.line, []).append(suppression)
-
-        kept: list[Finding] = []
-        suppressed = 0
-        for rule in self.rules:
-            for finding in rule.check(ctx):
-                hit = False
-                for suppression in by_line.get(finding.line, ()):
-                    if finding.rule in suppression.rules:
-                        suppression.used = True
-                        hit = True
-                if hit:
-                    suppressed += 1
-                else:
-                    kept.append(finding)
-
-        for suppression in suppressions:
-            if suppression.reason is None:
-                kept.append(
-                    Finding(
-                        rule="bare-allow",
-                        path=path,
-                        line=suppression.line,
-                        col=1,
-                        message=(
-                            "lint suppression without a reason; write "
-                            "'# lint: allow(rule) — why the invariant holds'"
-                        ),
-                    )
-                )
-            if not suppression.used:
-                kept.append(
-                    Finding(
-                        rule="unused-allow",
-                        path=path,
-                        line=suppression.line,
-                        col=1,
-                        message=(
-                            "suppression suppresses nothing "
-                            f"(rules: {', '.join(sorted(suppression.rules))}); "
-                            "delete the stale annotation"
-                        ),
-                    )
-                )
-        kept.sort()
-        return LintReport(findings=kept, suppressed=suppressed, files=1)
+        return self._lint([(source, module, path)])
 
     def check_file(self, path: Path, *, display_path: str | None = None) -> LintReport:
         source = path.read_text(encoding="utf-8")
-        return self.check_source(
-            source,
-            module=module_name_for(path),
-            path=display_path if display_path is not None else path.as_posix(),
+        return self._lint(
+            [
+                (
+                    source,
+                    module_name_for(path),
+                    display_path if display_path is not None else path.as_posix(),
+                )
+            ]
         )
 
     # -- trees ---------------------------------------------------------------
 
     def run(self, paths: Sequence[Path | str]) -> LintReport:
-        """Lint every ``*.py`` under each path (files or directories)."""
-        report = LintReport(findings=[])
+        """Lint every ``*.py`` under each path (files or directories).
+
+        All files go through one :meth:`_lint` call so the
+        whole-program phase sees a single cross-module index — a
+        helper in another module is resolvable, not a dynamic call.
+        """
+        entries: list[tuple[str, str, str]] = []
         for entry in paths:
             root = Path(entry)
             if root.is_dir():
@@ -268,6 +226,118 @@ class LintEngine:
             else:
                 targets = [root]
             for target in targets:
-                report.extend(self.check_file(target))
-        report.findings.sort()
-        return report
+                entries.append(
+                    (
+                        target.read_text(encoding="utf-8"),
+                        module_name_for(target),
+                        target.as_posix(),
+                    )
+                )
+        return self._lint(entries)
+
+    # -- the two-phase pass --------------------------------------------------
+
+    def _lint(self, entries: Sequence[tuple[str, str, str]]) -> LintReport:
+        """Parse once, run per-file rules, then whole-program rules."""
+        from repro.lint.callgraph import Program
+
+        contexts: list[FileContext] = []
+        raw: list[Finding] = []
+        suppressions_by_path: dict[str, list[_Suppression]] = {}
+        for source, module, path in entries:
+            try:
+                tree = ast.parse(source)
+            except SyntaxError as exc:
+                raw.append(
+                    Finding(
+                        rule="parse-error",
+                        path=path,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) or 1,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+                continue
+            contexts.append(
+                FileContext(
+                    display_path=path,
+                    module=module,
+                    tree=tree,
+                    lines=source.splitlines(),
+                )
+            )
+            suppressions_by_path[path] = _parse_suppressions(source)
+
+        timings: dict[str, float] = {}
+        per_file = [r for r in self.rules if not isinstance(r, ProgramRule)]
+        program_rules = [r for r in self.rules if isinstance(r, ProgramRule)]
+        for rule in per_file:
+            started = perf_counter()
+            for ctx in contexts:
+                raw.extend(rule.check(ctx))
+            timings[rule.name] = perf_counter() - started
+        if program_rules and contexts:
+            started = perf_counter()
+            program = Program(contexts)
+            timings["whole-program-index"] = perf_counter() - started
+            for rule in program_rules:
+                started = perf_counter()
+                raw.extend(rule.check_program(program))
+                timings[rule.name] = perf_counter() - started
+
+        kept: list[Finding] = []
+        suppressed = 0
+        by_line: dict[str, dict[int, list[_Suppression]]] = {}
+        for path, suppressions in suppressions_by_path.items():
+            per_path = by_line.setdefault(path, {})
+            for suppression in suppressions:
+                per_path.setdefault(suppression.line, []).append(suppression)
+        for finding in raw:
+            hit = False
+            for suppression in by_line.get(finding.path, {}).get(
+                finding.line, ()
+            ):
+                if finding.rule in suppression.rules:
+                    suppression.used = True
+                    hit = True
+            if hit:
+                suppressed += 1
+            else:
+                kept.append(finding)
+
+        for path, suppressions in suppressions_by_path.items():
+            for suppression in suppressions:
+                if suppression.reason is None:
+                    kept.append(
+                        Finding(
+                            rule="bare-allow",
+                            path=path,
+                            line=suppression.line,
+                            col=1,
+                            message=(
+                                "lint suppression without a reason; write "
+                                "'# lint: allow(rule) — why the invariant holds'"
+                            ),
+                        )
+                    )
+                if not suppression.used:
+                    kept.append(
+                        Finding(
+                            rule="unused-allow",
+                            path=path,
+                            line=suppression.line,
+                            col=1,
+                            message=(
+                                "suppression suppresses nothing "
+                                f"(rules: {', '.join(sorted(suppression.rules))}); "
+                                "delete the stale annotation"
+                            ),
+                        )
+                    )
+        kept.sort()
+        return LintReport(
+            findings=kept,
+            suppressed=suppressed,
+            files=len(entries),
+            timings=timings,
+        )

@@ -13,6 +13,7 @@ import ast
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.callgraph import Program
     from repro.lint.engine import FileContext, Finding
 
 
@@ -45,6 +46,33 @@ class Rule:
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
+        )
+
+
+class ProgramRule(Rule):
+    """An invariant check over the *whole program*.
+
+    Program rules run in the engine's second phase, after every file
+    has been parsed and per-file rules have walked each tree: they see
+    a :class:`repro.lint.callgraph.Program` (shared module index, call
+    graph, effect fixpoint) instead of one file.  Findings still anchor
+    to a (path, line), so suppressions and the baseline work unchanged.
+    """
+
+    def check(self, ctx: "FileContext") -> Iterable["Finding"]:
+        return ()
+
+    def check_program(self, program: "Program") -> Iterable["Finding"]:
+        """Yield findings over the indexed program."""
+        raise NotImplementedError
+
+    def finding_at(
+        self, *, path: str, line: int, col: int = 1, message: str
+    ) -> "Finding":
+        from repro.lint.engine import Finding
+
+        return Finding(
+            rule=self.name, path=path, line=line, col=col, message=message
         )
 
 

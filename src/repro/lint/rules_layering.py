@@ -118,7 +118,10 @@ ARCHITECTURE: dict[str, frozenset[str]] = {
             "types",
         }
     ),
-    "lint": frozenset(),
+    # The linter itself may read the observability layer: ``repro.obs.
+    # timers.perf_counter`` is the sanctioned wall-clock conduit the
+    # ``--stats`` per-rule timings go through.
+    "lint": frozenset({"obs"}),
 }
 
 

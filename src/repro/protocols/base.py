@@ -266,6 +266,9 @@ class ProcessInstance(ABC):
             self._cells[name] = self._gen
         return value
 
+    # lint: effect() — `factory` is always a container constructor (dict,
+    # set, list) supplied at the call site inside a certified handler; it
+    # allocates fresh state and touches nothing outside the instance.
     def _writable_entry(
         self, name: str, key: Hashable, factory: Callable[[], Any]
     ) -> Any:

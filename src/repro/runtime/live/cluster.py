@@ -147,6 +147,12 @@ class LiveCluster:
             str(self.config_path(server)),
             env=self._env(),
         )
+        # Re-validate after the await: a concurrent start() for the same
+        # server may have won the race while the subprocess spawned —
+        # overwriting its entry would leak an untracked child process.
+        if self.processes.get(server) is not existing:
+            process.kill()
+            raise NetworkError(f"server already running: {server!r}")
         self.processes[server] = process
 
     async def start_all(self) -> None:
@@ -289,8 +295,12 @@ class LiveCluster:
                 ):
                     self.kill(server)
                     await process.wait()
-                    self._killed_at[crash.server] = loop.time()
-                    self.crashes_performed += 1
+                    # Re-check after the await: overlapping
+                    # _drive_crashes calls must not double-count one
+                    # crash or reset its respawn clock.
+                    if crash.server not in self._killed_at:
+                        self._killed_at[crash.server] = loop.time()
+                        self.crashes_performed += 1
             elif crash.down_seconds is not None:
                 process = self.processes.get(server)
                 if (

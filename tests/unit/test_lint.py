@@ -638,3 +638,731 @@ class TestCli:
             "no-thread-no-asyncio",
         ):
             assert name in result.stdout
+
+
+# -------------------------------------------------------------- handler-purity
+
+
+class TestHandlerPurity:
+    LAUNDERED = """
+    import time
+
+    from repro.protocols.base import ProcessInstance
+
+
+    def _helper():
+        return _deep()
+
+
+    def _deep():
+        return time.time()
+
+
+    class Fake(ProcessInstance):
+        def on_request(self, request):
+            self.deadline = _helper()
+
+        def on_message(self, message):
+            pass
+    """
+
+    def test_fires_with_full_call_chain(self):
+        report = lint(self.LAUNDERED, module="repro.protocols.fake")
+        purity = [f for f in report.findings if f.rule == "handler-purity"]
+        assert len(purity) == 1
+        message = purity[0].message
+        assert "wall-clock" in message
+        assert "on_request → _helper → _deep" in message
+        assert "time.time" in message
+
+    def test_silent_on_pure_handlers(self):
+        report = lint(
+            """
+            from repro.protocols.base import ProcessInstance
+
+            class Fake(ProcessInstance):
+                def on_request(self, request):
+                    self.total += 1
+
+                def on_message(self, message):
+                    slot = self._writable_entry("votes", message.sender, set)
+                    slot.add(message.payload)
+            """,
+            module="repro.protocols.fake",
+        )
+        assert "handler-purity" not in rules_of(report)
+
+    def test_fires_on_stored_callable_with_complete_mro(self):
+        # A locally-defined base makes the hierarchy fully indexed, so
+        # an unresolvable self.<attr>() is a dynamic call, not a
+        # maybe-inherited method.
+        report = lint(
+            """
+            class ProcessInstance:
+                pass
+
+
+            class Fake(ProcessInstance):
+                def on_request(self, request):
+                    self.hook(request)
+
+                def on_message(self, message):
+                    pass
+            """,
+            module="repro.protocols.fake",
+        )
+        purity = [f for f in report.findings if f.rule == "handler-purity"]
+        assert len(purity) == 1
+        assert "cannot resolve" in purity[0].message
+        assert "self.hook" in purity[0].message
+
+    def test_cross_module_laundering_two_files(self, tmp_path):
+        # The acceptance-criterion shape: the helper lives in another
+        # module, so only the whole-program phase can see the effect.
+        root = tmp_path / "src" / "repro"
+        (root / "protocols").mkdir(parents=True)
+        (root / "util.py").write_text(
+            dedent(
+                """
+                import time
+
+
+                def jitter():
+                    return _clock() * 0.5
+
+
+                def _clock():
+                    return time.time()
+                """
+            ),
+            encoding="utf-8",
+        )
+        (root / "protocols" / "fake.py").write_text(
+            dedent(
+                """
+                from repro.protocols.base import ProcessInstance
+                from repro.util import jitter
+
+
+                class Fake(ProcessInstance):
+                    def on_request(self, request):
+                        self.deadline = jitter()
+
+                    def on_message(self, message):
+                        pass
+                """
+            ),
+            encoding="utf-8",
+        )
+        report = LintEngine().run([root])
+        purity = [f for f in report.findings if f.rule == "handler-purity"]
+        assert len(purity) == 1
+        message = purity[0].message
+        assert "on_request → jitter → _clock" in message
+        assert "time.time" in message
+        assert "util.py" in message
+
+    def test_global_mutation_is_impure(self):
+        report = lint(
+            """
+            from repro.protocols.base import ProcessInstance
+
+            _SEEN = {}
+
+
+            def _remember(key):
+                _SEEN[key] = True
+
+
+            class Fake(ProcessInstance):
+                def on_request(self, request):
+                    _remember(request)
+
+                def on_message(self, message):
+                    pass
+            """,
+            module="repro.protocols.fake",
+        )
+        messages = [
+            f.message for f in report.findings if f.rule == "handler-purity"
+        ]
+        assert any("writes-global" in m for m in messages)
+        assert any("_SEEN" in m for m in messages)
+
+
+# ----------------------------------------------------------- effect-annotation
+
+
+class TestEffectAnnotation:
+    def test_declaration_hiding_real_effect_fires(self):
+        report = lint(
+            """
+            _CACHE = {}
+
+
+            # lint: effect() — claims purity it does not have
+            def remember(key):
+                _CACHE[key] = 1
+            """
+        )
+        notes = [
+            f.message for f in report.findings if f.rule == "effect-annotation"
+        ]
+        assert any("hides real effect" in m for m in notes)
+        assert any("writes-global" in m for m in notes)
+
+    def test_declaration_without_reason_fires(self):
+        report = lint(
+            """
+            # lint: effect()
+            def apply(callback):
+                return callback()
+            """
+        )
+        assert "effect-annotation" in rules_of(report)
+
+    def test_unknown_effect_name_fires(self):
+        report = lint(
+            """
+            # lint: effect(chaos) — no such lattice point
+            def apply(callback):
+                return callback()
+            """
+        )
+        notes = [
+            f.message for f in report.findings if f.rule == "effect-annotation"
+        ]
+        assert any("unknown effect name" in m for m in notes)
+
+    def test_stale_declaration_fires(self):
+        report = lint(
+            """
+            # lint: effect(io) — nothing here does io
+            def pure():
+                return 1
+            """
+        )
+        notes = [
+            f.message for f in report.findings if f.rule == "effect-annotation"
+        ]
+        assert any("stale declaration" in m for m in notes)
+
+    def test_sound_dynamic_discharge_is_silent(self):
+        report = lint(
+            """
+            # lint: effect() — callback is pure by caller contract
+            def apply(callback):
+                return callback()
+            """
+        )
+        assert rules_of(report) == []
+
+    def test_declared_effects_propagate_to_callers(self):
+        # The declaration is what callers see: io flows up the chain.
+        report = lint(
+            """
+            from repro.protocols.base import ProcessInstance
+
+
+            # lint: effect(io) — boundary fixture
+            def boundary(callback):
+                return callback()
+
+
+            class Fake(ProcessInstance):
+                def on_request(self, request):
+                    boundary(request)
+
+                def on_message(self, message):
+                    pass
+            """,
+            module="repro.protocols.fake",
+        )
+        messages = [
+            f.message for f in report.findings if f.rule == "handler-purity"
+        ]
+        assert any("declared effect(io)" in m for m in messages)
+
+
+# ------------------------------------------------------------- async-hazard-*
+
+
+def lint_live(source: str):
+    """Fixture helper: lint inside the live seam so asyncio is allowed."""
+    return lint(
+        source,
+        module="repro.net.live.fake",
+        path="src/repro/net/live/fake.py",
+    )
+
+
+class TestAsyncStaleWrite:
+    def test_fires_on_write_across_await(self):
+        report = lint_live(
+            """
+            class Pump:
+                async def refresh(self, peer):
+                    existing = self.peers.get(peer)
+                    await self.connect(peer)
+                    self.peers[peer] = existing
+            """
+        )
+        stale = [
+            f
+            for f in report.findings
+            if f.rule == "async-hazard-stale-write"
+        ]
+        assert len(stale) == 1
+        assert "self.peers" in stale[0].message
+
+    def test_silent_on_revalidation_read(self):
+        report = lint_live(
+            """
+            class Pump:
+                async def refresh(self, peer):
+                    existing = self.peers.get(peer)
+                    await self.connect(peer)
+                    if self.peers.get(peer) is existing:
+                        self.peers[peer] = 1
+            """
+        )
+        assert rules_of(report) == []
+
+    def test_silent_on_first_write_after_await(self):
+        report = lint_live(
+            """
+            class Server:
+                async def start(self, path):
+                    self._server = await self.bind(path)
+            """
+        )
+        assert rules_of(report) == []
+
+    def test_silent_on_augassign(self):
+        report = lint_live(
+            """
+            class Counter:
+                async def bump(self):
+                    if self.count:
+                        pass
+                    await self.flush()
+                    self.count += 1
+            """
+        )
+        assert rules_of(report) == []
+
+    def test_raise_branch_does_not_poison_merge(self):
+        report = lint_live(
+            """
+            class Registry:
+                async def adopt(self, key, value):
+                    existing = self.entries.get(key)
+                    handle = await self.spawn(value)
+                    if self.entries.get(key) is not existing:
+                        raise RuntimeError(key)
+                    self.entries[key] = handle
+            """
+        )
+        assert rules_of(report) == []
+
+
+class TestAsyncBlockingCall:
+    def test_fires_on_time_sleep(self):
+        report = lint_live(
+            """
+            import time
+
+            async def backoff():
+                time.sleep(1.0)
+            """
+        )
+        blocking = [
+            f
+            for f in report.findings
+            if f.rule == "async-hazard-blocking-call"
+        ]
+        assert len(blocking) == 1
+        assert "time.sleep" in blocking[0].message
+
+    def test_fires_on_subprocess_run(self):
+        report = lint_live(
+            """
+            import subprocess
+
+            async def launch():
+                subprocess.run(["true"])
+            """
+        )
+        assert "async-hazard-blocking-call" in rules_of(report)
+
+    def test_silent_on_asyncio_sleep(self):
+        report = lint_live(
+            """
+            import asyncio
+
+            async def backoff():
+                await asyncio.sleep(1.0)
+            """
+        )
+        assert rules_of(report) == []
+
+    def test_silent_in_sync_function(self):
+        # Blocking in synchronous code is not this rule's concern.
+        report = lint_live(
+            """
+            import time
+
+            def backoff():
+                time.sleep(1.0)
+            """
+        )
+        assert "async-hazard-blocking-call" not in rules_of(report)
+
+
+class TestAsyncTaskLeak:
+    def test_fires_on_dropped_create_task(self):
+        report = lint_live(
+            """
+            import asyncio
+
+            async def kick(coro):
+                asyncio.create_task(coro)
+            """
+        )
+        leaks = [
+            f for f in report.findings if f.rule == "async-hazard-task-leak"
+        ]
+        assert len(leaks) == 1
+
+    def test_fires_on_dropped_loop_create_task(self):
+        report = lint_live(
+            """
+            async def kick(loop, coro):
+                loop.create_task(coro)
+            """
+        )
+        assert "async-hazard-task-leak" in rules_of(report)
+
+    def test_silent_when_retained(self):
+        report = lint_live(
+            """
+            import asyncio
+
+            async def kick(self, coro):
+                task = asyncio.create_task(coro)
+                self._tasks.append(task)
+                self._tasks.append(asyncio.create_task(coro))
+            """
+        )
+        assert rules_of(report) == []
+
+    def test_silent_with_done_callback(self):
+        report = lint_live(
+            """
+            import asyncio
+
+            async def kick(coro, on_done):
+                asyncio.create_task(coro).add_done_callback(on_done)
+            """
+        )
+        assert rules_of(report) == []
+
+
+# ------------------------------------------- every registered rule is fixtured
+
+
+_LIVE = dict(module="repro.net.live.fake", path="src/repro/net/live/fake.py")
+_PROTO = dict(module="repro.protocols.fake", path="src/repro/protocols/fake.py")
+
+#: rule name -> (violating fixture, clean fixture); each fixture is the
+#: kwargs for :func:`lint` plus its source.  The meta-test below walks
+#: the *registry*, so adding a rule without a pair here fails CI by
+#: construction.
+FIXTURES: dict[str, tuple[dict, dict]] = {
+    "no-wall-clock": (
+        dict(source="import time\nnow = time.time()\n"),
+        dict(source="from repro.obs.timers import perf_counter\n"),
+    ),
+    "seeded-randomness-only": (
+        dict(source="import random\nx = random.random()\n"),
+        dict(source="import random\nrng = random.Random(7)\n"),
+    ),
+    "cow-barrier": (
+        dict(
+            source=(
+                "from repro.protocols.base import ProcessInstance\n"
+                "class Fake(ProcessInstance):\n"
+                "    def on_message(self, message):\n"
+                "        self.votes[message.sender] = 1\n"
+            ),
+            **_PROTO,
+        ),
+        dict(
+            source=(
+                "from repro.protocols.base import ProcessInstance\n"
+                "class Fake(ProcessInstance):\n"
+                "    def on_message(self, message):\n"
+                "        self._writable('votes')[message.sender] = 1\n"
+            ),
+            **_PROTO,
+        ),
+    ),
+    "no-pickle": (
+        dict(source="import pickle\n"),
+        dict(source="from repro.dag.codec import encode\n"),
+    ),
+    "deterministic-iteration": (
+        dict(
+            source="rows = [v for v in {3, 1, 2}]\n",
+            module="repro.obs.export",
+            path="src/repro/obs/export.py",
+        ),
+        dict(
+            source="rows = [v for v in sorted({3, 1, 2})]\n",
+            module="repro.obs.export",
+            path="src/repro/obs/export.py",
+        ),
+    ),
+    "import-layering": (
+        dict(
+            source="import repro.storage.wal\n",
+            **_PROTO,
+        ),
+        dict(
+            source="from repro.dag.codec import encoding_key\n",
+            **_PROTO,
+        ),
+    ),
+    "no-thread-no-asyncio": (
+        dict(source="import asyncio\n"),
+        dict(source="import asyncio\n", **_LIVE),
+    ),
+    "handler-purity": (
+        dict(source=dedent(TestHandlerPurity.LAUNDERED), **_PROTO),
+        dict(
+            source=(
+                "from repro.protocols.base import ProcessInstance\n"
+                "class Fake(ProcessInstance):\n"
+                "    def on_request(self, request):\n"
+                "        self.total += 1\n"
+            ),
+            **_PROTO,
+        ),
+    ),
+    "effect-annotation": (
+        dict(
+            source=(
+                "_CACHE = {}\n"
+                "# lint: effect() — hides a write\n"
+                "def remember(key):\n"
+                "    _CACHE[key] = 1\n"
+            ),
+        ),
+        dict(
+            source=(
+                "# lint: effect() — callback pure by contract\n"
+                "def apply(callback):\n"
+                "    return callback()\n"
+            ),
+        ),
+    ),
+    "async-hazard-stale-write": (
+        dict(
+            source=(
+                "class Pump:\n"
+                "    async def refresh(self, peer):\n"
+                "        existing = self.peers.get(peer)\n"
+                "        await self.connect(peer)\n"
+                "        self.peers[peer] = existing\n"
+            ),
+            **_LIVE,
+        ),
+        dict(
+            source=(
+                "class Pump:\n"
+                "    async def refresh(self, peer):\n"
+                "        await self.connect(peer)\n"
+                "        self.peers[peer] = 1\n"
+            ),
+            **_LIVE,
+        ),
+    ),
+    "async-hazard-blocking-call": (
+        dict(
+            source=(
+                "import time\n"
+                "async def backoff():\n"
+                "    time.sleep(1.0)\n"
+            ),
+            **_LIVE,
+        ),
+        dict(
+            source=(
+                "import asyncio\n"
+                "async def backoff():\n"
+                "    await asyncio.sleep(1.0)\n"
+            ),
+            **_LIVE,
+        ),
+    ),
+    "async-hazard-task-leak": (
+        dict(
+            source=(
+                "import asyncio\n"
+                "async def kick(coro):\n"
+                "    asyncio.create_task(coro)\n"
+            ),
+            **_LIVE,
+        ),
+        dict(
+            source=(
+                "import asyncio\n"
+                "async def kick(self, coro):\n"
+                "    self._tasks.append(asyncio.create_task(coro))\n"
+            ),
+            **_LIVE,
+        ),
+    ),
+}
+
+
+class TestEveryRuleHasFixtures:
+    def test_registry_is_fully_fixtured(self):
+        from repro.lint import rule_names
+
+        missing = [name for name in rule_names() if name not in FIXTURES]
+        assert missing == [], f"rules without fixture pairs: {missing}"
+
+    def test_violating_fixtures_fire(self):
+        for name, (violating, _clean) in FIXTURES.items():
+            source = violating["source"]
+            kwargs = {k: v for k, v in violating.items() if k != "source"}
+            report = lint(source, **kwargs)
+            assert name in rules_of(report), f"{name} did not fire"
+
+    def test_clean_fixtures_stay_silent(self):
+        for name, (_violating, clean) in FIXTURES.items():
+            source = clean["source"]
+            kwargs = {k: v for k, v in clean.items() if k != "source"}
+            report = lint(source, **kwargs)
+            assert name not in rules_of(report), f"{name} fired on clean code"
+
+
+# ------------------------------------------------------------- CLI satellites
+
+
+class TestCliSatellites:
+    def test_unknown_select_exits_nonzero_with_hint(self, tmp_path):
+        # Regression: --select with a typo must not silently select
+        # nothing and exit 0.
+        good = tmp_path / "ok.py"
+        good.write_text("x = 1\n", encoding="utf-8")
+        result = _run_cli(
+            str(good), "--select", "handler-purty", "--no-baseline", cwd=tmp_path
+        )
+        assert result.returncode == 2
+        assert "unknown rule 'handler-purty'" in result.stderr
+        assert "did you mean 'handler-purity'?" in result.stderr
+
+    def test_relaxed_profile_allows_wall_clock_keeps_pickle(self, tmp_path):
+        bench = tmp_path / "bench.py"
+        bench.write_text(
+            "import time\nimport pickle\nstart = time.time()\n",
+            encoding="utf-8",
+        )
+        relaxed = _run_cli(
+            str(bench),
+            "--profile",
+            "relaxed",
+            "--no-baseline",
+            cwd=tmp_path,
+        )
+        assert relaxed.returncode == 1
+        assert "no-pickle" in relaxed.stdout
+        assert "no-wall-clock" not in relaxed.stdout
+        strict = _run_cli(str(bench), "--no-baseline", cwd=tmp_path)
+        assert "no-wall-clock" in strict.stdout
+
+    def test_select_overrides_profile(self, tmp_path):
+        bench = tmp_path / "bench.py"
+        bench.write_text("import time\nstart = time.time()\n", encoding="utf-8")
+        result = _run_cli(
+            str(bench),
+            "--profile",
+            "relaxed",
+            "--select",
+            "no-wall-clock",
+            "--no-baseline",
+            cwd=tmp_path,
+        )
+        assert result.returncode == 1
+        assert "no-wall-clock" in result.stdout
+
+    def test_stats_table_text(self, tmp_path):
+        good = tmp_path / "ok.py"
+        good.write_text("x = 1\n", encoding="utf-8")
+        result = _run_cli(
+            str(good), "--stats", "--no-baseline", cwd=tmp_path
+        )
+        assert result.returncode == 0
+        assert "| rule | findings | wall ms |" in result.stdout
+        assert "| handler-purity |" in result.stdout
+        assert "| whole-program-index |" in result.stdout
+
+    def test_stats_json(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import pickle\n", encoding="utf-8")
+        result = _run_cli(
+            str(bad),
+            "--stats",
+            "--format",
+            "json",
+            "--no-baseline",
+            cwd=tmp_path,
+        )
+        document = json.loads(result.stdout)
+        assert document["stats"]["no-pickle"]["findings"] == 1
+        assert "ms" in document["stats"]["no-pickle"]
+
+    def test_stats_appends_github_step_summary(self, tmp_path):
+        good = tmp_path / "ok.py"
+        good.write_text("x = 1\n", encoding="utf-8")
+        summary = tmp_path / "summary.md"
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        env["GITHUB_STEP_SUMMARY"] = str(summary)
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.lint",
+                str(good),
+                "--stats",
+                "--format",
+                "github",
+                "--no-baseline",
+            ],
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "| rule | findings | wall ms |" in summary.read_text()
+
+    def test_relaxed_profile_passes_on_shipped_extras(self):
+        # The CI arm: benchmarks, examples and tests hold the relaxed
+        # contract (pickle/randomness/concurrency discipline).
+        result = _run_cli(
+            "--profile",
+            "relaxed",
+            "benchmarks",
+            "examples",
+            "tests",
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
